@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metaprep"
+)
+
+// writeDataset generates a small paired dataset for CLI tests.
+func writeDataset(t *testing.T, dir string) []string {
+	t.Helper()
+	spec, err := metaprep.Preset("HG", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := metaprep.Generate(spec, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Files
+}
+
+func TestCLIIndexRunStats(t *testing.T) {
+	dir := t.TempDir()
+	files := writeDataset(t, filepath.Join(dir, "data"))
+	idxPath := filepath.Join(dir, "ds.idx")
+
+	args := append([]string{"-k", "27", "-paired", "-chunk", "131072", "-out", idxPath}, files...)
+	if err := cmdIndex(args); err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	if _, err := os.Stat(idxPath); err != nil {
+		t.Fatalf("index file missing: %v", err)
+	}
+
+	outDir := filepath.Join(dir, "parts")
+	if err := cmdRun([]string{
+		"-index", idxPath, "-tasks", "2", "-threads", "2", "-passes", "2",
+		"-kf-max", "30", "-outdir", outDir, "-merge-output", "-edison-net",
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "lc.fastq")); err != nil {
+		t.Fatalf("merged output missing: %v", err)
+	}
+
+	if err := cmdRun([]string{
+		"-index", idxPath, "-split", "3", "-sparse-merge",
+		"-outdir", filepath.Join(dir, "split"),
+	}); err != nil {
+		t.Fatalf("run -split: %v", err)
+	}
+
+	if err := cmdStats([]string{"-index", idxPath}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := cmdIndex([]string{"-out", ""}); err == nil {
+		t.Error("index without args succeeded")
+	}
+	if err := cmdRun([]string{}); err == nil {
+		t.Error("run without index succeeded")
+	}
+	if err := cmdRun([]string{"-index", "/nonexistent"}); err == nil {
+		t.Error("run with missing index succeeded")
+	}
+	if err := cmdStats([]string{}); err == nil {
+		t.Error("stats without index succeeded")
+	}
+	if err := cmdNormalize([]string{}); err == nil {
+		t.Error("normalize without args succeeded")
+	}
+	if err := cmdInterleave([]string{"-out", "x"}); err == nil {
+		t.Error("interleave without mates succeeded")
+	}
+}
+
+func TestCLINormalize(t *testing.T) {
+	dir := t.TempDir()
+	files := writeDataset(t, filepath.Join(dir, "data"))
+	out := filepath.Join(dir, "norm.fastq")
+	args := append([]string{"-k", "17", "-target", "5", "-paired", "-out", out}, files...)
+	if err := cmdNormalize(args); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	st, err := os.Stat(out)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("normalized output missing: %v", err)
+	}
+}
+
+func TestCLIInterleave(t *testing.T) {
+	dir := t.TempDir()
+	m1 := filepath.Join(dir, "m1.fastq")
+	m2 := filepath.Join(dir, "m2.fastq")
+	os.WriteFile(m1, []byte("@a/1\nACGT\n+\nIIII\n"), 0o644)
+	os.WriteFile(m2, []byte("@a/2\nTTTT\n+\nIIII\n"), 0o644)
+	out := filepath.Join(dir, "il.fastq")
+	if err := cmdInterleave([]string{"-out", out, m1, m2}); err != nil {
+		t.Fatalf("interleave: %v", err)
+	}
+	data, _ := os.ReadFile(out)
+	if string(data) != "@a/1\nACGT\n+\nIIII\n@a/2\nTTTT\n+\nIIII\n" {
+		t.Fatalf("interleaved output = %q", data)
+	}
+}

@@ -1,0 +1,318 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"metaprep"
+	"metaprep/internal/stats"
+)
+
+// simDatasets are the three datasets the paper uses for most experiments.
+var simDatasets = []string{"HG", "LL", "MM"}
+
+// passesFor mirrors the paper's per-dataset pass counts (§4.1.2): HG fits
+// in one pass, LL uses 2, MM uses 4.
+func passesFor(name string) int {
+	switch name {
+	case "LL":
+		return 2
+	case "MM":
+		return 4
+	case "IS":
+		return 8
+	}
+	return 1
+}
+
+// expTable2 prints the dataset description table (Table 2), paper
+// originals beside the generated stand-ins.
+func expTable2(e *env) error {
+	paper := map[string][2]float64{ // reads ×1e6, Gbp
+		"HG": {12.7, 2.29}, "LL": {21.3, 4.26}, "MM": {54.8, 11.07}, "IS": {1132.8, 223.26},
+	}
+	t := stats.NewTable("ID", "Species", "RareSpecies", "ReadPairs", "Mbp",
+		"PaperReads(M)", "PaperGbp")
+	for _, name := range metaprep.PresetNames() {
+		if name == "IS" && e.scale > 0.5 {
+			// Full-scale IS is heavy; generate it only for fig7.
+			spec, _ := metaprep.Preset(name, e.scale)
+			t.AddRow(name+"sim*", spec.Species, spec.RareSpecies, spec.Pairs,
+				float64(spec.TotalBases())/1e6, paper[name][0], paper[name][1])
+			continue
+		}
+		ds, err := e.dataset(name)
+		if err != nil {
+			return err
+		}
+		t.AddRow(ds.Spec.Name, ds.Spec.Species, ds.Spec.RareSpecies, ds.Spec.Pairs,
+			float64(ds.Bases)/1e6, paper[name][0], paper[name][1])
+	}
+	if err := e.emit("tab2", t); err != nil {
+		return err
+	}
+	fmt.Println("(* spec only; generated on demand by fig7)")
+	return nil
+}
+
+// expTable5 times index creation (Table 5) and the parallel extension.
+func expTable5(e *env) error {
+	t := stats.NewTable("Dataset", "Chunks", "Sequential", "Parallel(4w)", "IndexMB")
+	for _, name := range simDatasets {
+		ds, err := e.dataset(name)
+		if err != nil {
+			return err
+		}
+		opts := metaprep.DefaultIndexOptions()
+		opts.Paired = true
+		opts.ChunkSize = 1 << 20
+		start := time.Now()
+		idx, err := metaprep.BuildIndex(ds.Files, opts)
+		if err != nil {
+			return err
+		}
+		seq := time.Since(start)
+		start = time.Now()
+		if _, err := metaprep.BuildIndexParallel(ds.Files, opts, 4); err != nil {
+			return err
+		}
+		par := time.Since(start)
+		t.AddRow(name+"sim", len(idx.Chunks), seq, par, float64(idx.MemoryBytes())/float64(1<<20))
+	}
+	if err := e.emit("tab5", t); err != nil {
+		return err
+	}
+	fmt.Println("(paper, sequential, full scale: HG 141s, LL 186s, MM 376s, IS 5340s)")
+	return nil
+}
+
+// runMeasured runs the real pipeline and returns its result.
+func runMeasured(e *env, name string, k, tasks, threads, passes int, filter metaprep.Filter, outTag string) (*metaprep.Result, error) {
+	idx, _, err := e.index(name, k)
+	if err != nil {
+		return nil, err
+	}
+	cfg := metaprep.DefaultConfig(idx)
+	cfg.Tasks = tasks
+	cfg.Threads = threads
+	cfg.Passes = passes
+	cfg.Filter = filter
+	cfg.Network = metaprep.EdisonNetwork()
+	if outTag != "" {
+		cfg.OutDir = e.runDir(outTag)
+	}
+	return metaprep.Partition(cfg)
+}
+
+func stepRow(t *stats.Table, label string, s metaprep.StepTimes) {
+	t.AddRow(label, s.KmerGenIO, s.KmerGen, s.KmerGenComm, s.LocalSort,
+		s.LocalCC, s.MergeComm, s.MergeCC, s.CCIO, s.Total())
+}
+
+func predRow(t *stats.Table, label string, s metaprep.PredictedSteps) {
+	t.AddRow(label, s.KmerGenIO, s.KmerGen, s.KmerGenComm, s.LocalSort,
+		s.LocalCC, s.MergeComm, s.MergeCC, s.CCIO, s.Total())
+}
+
+func stepHeader() *stats.Table {
+	return stats.NewTable("Config", "KG-I/O", "KmerGen", "KG-Comm", "LocalSort",
+		"LocalCC", "Mrg-Comm", "MergeCC", "CC-I/O", "Total")
+}
+
+// expFigure5 reproduces the single-node thread-scaling figure: model
+// curves for Edison and Ganga at paper scale, plus a measured
+// single-thread run of the scaled dataset as a ground-truth anchor.
+func expFigure5(e *env) error {
+	w := metaprep.PaperWorkload("HG")
+	for _, cal := range []metaprep.Calibration{metaprep.EdisonCalibration(), metaprep.GangaCalibration()} {
+		t := stepHeader()
+		var t1 time.Duration
+		for _, threads := range []int{1, 2, 4, 8, 12, 24} {
+			s := metaprep.Predict(cal, w, metaprep.ClusterSpec{P: 1, T: threads, S: 1})
+			predRow(t, fmt.Sprintf("%s T=%d", cal.Name, threads), s)
+			if threads == 1 {
+				t1 = s.Total()
+			} else if threads == 24 {
+				fmt.Printf("[model %s] 24-thread relative speedup: %.1fx (paper: Edison 14.5x, Ganga 3.4x)\n",
+					cal.Name, t1.Seconds()/s.Total().Seconds())
+			}
+		}
+		if err := e.emit("fig5-model-"+cal.Name, t); err != nil {
+			return err
+		}
+	}
+
+	// Measured anchor: the real pipeline, single task/thread, scaled data.
+	res, err := runMeasured(e, "HG", 27, 1, 1, 1, metaprep.Filter{}, "fig5")
+	if err != nil {
+		return err
+	}
+	t := stepHeader()
+	stepRow(t, fmt.Sprintf("measured HGsim(%.2gx) P1 T1", e.scale), res.Steps)
+	if err := e.emit("fig5-measured", t); err != nil {
+		return err
+	}
+
+	// Model-vs-measured validation on this host at the same scale.
+	idx, _, err := e.index("HG", 27)
+	if err != nil {
+		return err
+	}
+	pred := metaprep.Predict(e.calibration(), metaprep.WorkloadFromIndex(idx),
+		metaprep.ClusterSpec{P: 1, T: 1, S: 1})
+	fmt.Printf("host model total %.2fs vs measured %.2fs (compute-only steps: model %.2fs, measured %.2fs)\n",
+		pred.Total().Seconds(), res.Steps.Total().Seconds(),
+		(pred.KmerGen + pred.LocalSort + pred.LocalCC).Seconds(),
+		(res.Steps.KmerGen + res.Steps.LocalSort + res.Steps.LocalCC).Seconds())
+	return nil
+}
+
+// expFigure6 reproduces the multi-node scaling figure for three datasets:
+// model curves at paper scale plus measured multi-task runs of the scaled
+// data (the measured runs validate step composition; wall-clock speedup is
+// not observable on one core).
+func expFigure6(e *env) error {
+	for _, name := range simDatasets {
+		w := metaprep.PaperWorkload(name)
+		s := passesFor(name)
+		t := stepHeader()
+		var base time.Duration
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			pr := metaprep.Predict(metaprep.EdisonCalibration(), w, metaprep.ClusterSpec{P: p, T: 24, S: s})
+			predRow(t, fmt.Sprintf("%s model P=%d S=%d", name, p, s), pr)
+			if p == 1 {
+				base = pr.Total()
+			}
+			if p == 16 {
+				fmt.Printf("[model %s] 16-node speedup %.2fx (paper: HG 3.23x ... MM 7.5x)\n",
+					name, base.Seconds()/pr.Total().Seconds())
+			}
+		}
+		if err := e.emit("fig6-model-"+name, t); err != nil {
+			return err
+		}
+	}
+	// Measured validation: MMsim across task counts; component labels and
+	// tuple totals must be identical, steps all populated.
+	t := stepHeader()
+	for _, p := range []int{1, 2, 4} {
+		res, err := runMeasured(e, "MM", 27, p, 1, passesFor("MM"), metaprep.Filter{}, "")
+		if err != nil {
+			return err
+		}
+		stepRow(t, fmt.Sprintf("measured MMsim P=%d", p), res.Steps)
+	}
+	if err := e.emit("fig6-measured", t); err != nil {
+		return err
+	}
+	return nil
+}
+
+// expFigure7 reproduces the IS figure: 16 nodes/8 passes vs 64 nodes/2
+// passes at paper scale (model), plus a measured 16-task run of ISsim.
+func expFigure7(e *env) error {
+	w := metaprep.PaperWorkload("IS")
+	t := stepHeader()
+	a := metaprep.Predict(metaprep.EdisonCalibration(), w, metaprep.ClusterSpec{P: 16, T: 24, S: 8})
+	b := metaprep.Predict(metaprep.EdisonCalibration(), w, metaprep.ClusterSpec{P: 64, T: 24, S: 2})
+	predRow(t, "IS model P=16 S=8", a)
+	predRow(t, "IS model P=64 S=2", b)
+	if err := e.emit("fig7-model", t); err != nil {
+		return err
+	}
+	fmt.Printf("model speedup 16->64 nodes: %.2fx (paper: 3.25x); 16-node total %.0fs (paper: ~860s / \"around 14 minutes\")\n",
+		a.Total().Seconds()/b.Total().Seconds(), a.Total().Seconds())
+
+	res, err := runMeasured(e, "IS", 27, 16, 1, 8, metaprep.Filter{}, "")
+	if err != nil {
+		return err
+	}
+	mt := stepHeader()
+	stepRow(mt, fmt.Sprintf("measured ISsim(%.2gx) P=16 S=8", e.scale), res.Steps)
+	if err := e.emit("fig7-measured", mt); err != nil {
+		return err
+	}
+	return nil
+}
+
+// expFigure8 reproduces the load-balance box plot: per-task step-time
+// five-number summaries of a measured 16-task run on MMsim.
+func expFigure8(e *env) error {
+	res, err := runMeasured(e, "MM", 27, 16, 1, passesFor("MM"), metaprep.Filter{}, "fig8")
+	if err != nil {
+		return err
+	}
+	type col struct {
+		name string
+		get  func(metaprep.StepTimes) time.Duration
+	}
+	cols := []col{
+		{"KmerGen-I/O", func(s metaprep.StepTimes) time.Duration { return s.KmerGenIO }},
+		{"KmerGen", func(s metaprep.StepTimes) time.Duration { return s.KmerGen }},
+		{"KmerGen-Comm", func(s metaprep.StepTimes) time.Duration { return s.KmerGenComm }},
+		{"LocalSort", func(s metaprep.StepTimes) time.Duration { return s.LocalSort }},
+		{"LocalCC", func(s metaprep.StepTimes) time.Duration { return s.LocalCC }},
+		{"Merge-Comm", func(s metaprep.StepTimes) time.Duration { return s.MergeComm }},
+		{"MergeCC", func(s metaprep.StepTimes) time.Duration { return s.MergeCC }},
+		{"CC-I/O", func(s metaprep.StepTimes) time.Duration { return s.CCIO }},
+	}
+	t := stats.NewTable("Step", "Min", "Q1", "Median", "Q3", "Max", "Spread")
+	for _, c := range cols {
+		var sample []float64
+		for _, rep := range res.PerTask {
+			sample = append(sample, c.get(rep.Steps).Seconds())
+		}
+		f := stats.Summarize(sample)
+		spread := 0.0
+		if f.Median > 0 {
+			spread = (f.Max - f.Min) / f.Median
+		}
+		t.AddRow(c.name, f.Min, f.Q1, f.Median, f.Q3, f.Max, spread)
+	}
+	if err := e.emit("fig8", t); err != nil {
+		return err
+	}
+	fmt.Println("(paper: KmerGen/LocalSort/LocalCC are tightly balanced; the merge steps spread because tasks drop out of successive rounds)")
+	return nil
+}
+
+// expTable3 reproduces the multi-pass table: measured step times and
+// memory at sim scale, and the model at paper scale next to Table 3's
+// published numbers.
+func expTable3(e *env) error {
+	fmt.Printf("measured, MMsim(%.2gx), 4 tasks x 2 threads:\n", e.scale)
+	t := stats.NewTable("Passes", "KmerGen", "KG-Comm", "LocalSort", "LocalCC",
+		"MergeCC", "CC-I/O", "Total", "Mem/task(MB)")
+	for _, s := range []int{1, 2, 4, 8} {
+		res, err := runMeasured(e, "MM", 27, 4, 2, s, metaprep.Filter{}, fmt.Sprintf("tab3-s%d", s))
+		if err != nil {
+			return err
+		}
+		st := res.Steps
+		t.AddRow(s, st.KmerGenIO+st.KmerGen, st.KmerGenComm, st.LocalSort, st.LocalCC,
+			st.MergeComm+st.MergeCC, st.CCIO, st.Total(),
+			float64(res.MemoryPerTask)/float64(1<<20))
+	}
+	if err := e.emit("tab3-measured", t); err != nil {
+		return err
+	}
+
+	fmt.Println("model, MM at paper scale, 4 nodes x 24 threads (Table 3 published values in parentheses):")
+	paper := map[int][2]float64{ // total seconds, memory GB
+		1: {61.32, 49.72}, 2: {53.0, 27.02}, 4: {58.24, 15.64}, 8: {66.70, 9.96},
+	}
+	w := metaprep.PaperWorkload("MM")
+	mt := stats.NewTable("Passes", "KmerGen", "KG-Comm", "LocalSort", "LocalCC",
+		"Total", "(paper)", "Mem/node(GB)", "(paper)")
+	for _, s := range []int{1, 2, 4, 8} {
+		pr := metaprep.Predict(metaprep.EdisonCalibration(), w, metaprep.ClusterSpec{P: 4, T: 24, S: s})
+		mem := metaprep.PredictMemory(w, metaprep.ClusterSpec{P: 4, T: 24, S: s})
+		mt.AddRow(s, pr.KmerGenIO+pr.KmerGen, pr.KmerGenComm, pr.LocalSort, pr.LocalCC,
+			pr.Total(), fmt.Sprintf("%.1fs", paper[s][0]),
+			float64(mem)/float64(1<<30), fmt.Sprintf("%.1f", paper[s][1]))
+	}
+	if err := e.emit("tab3-model", mt); err != nil {
+		return err
+	}
+	return nil
+}

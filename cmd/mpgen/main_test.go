@@ -1,0 +1,40 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+func TestMpgenPreset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-preset", "LL", "-scale", "0.02", "-dir", dir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "LLsim_*.fastq"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no output files: %v %v", matches, err)
+	}
+}
+
+func TestMpgenCustom(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-species", "3", "-genome", "2000", "-pairs", "50",
+		"-readlen", "60", "-dir", dir}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "custom_*.fastq"))
+	if len(matches) != 1 {
+		t.Fatalf("custom output files: %v", matches)
+	}
+}
+
+func TestMpgenErrors(t *testing.T) {
+	if err := run([]string{"-preset", "HG"}, io.Discard); err == nil {
+		t.Error("missing -dir accepted")
+	}
+	if err := run([]string{"-preset", "nope", "-dir", t.TempDir()}, io.Discard); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}

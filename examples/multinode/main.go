@@ -1,0 +1,79 @@
+// Multinode: run the same partitioning job across increasing simulated
+// node counts with an Edison-like network model, verify the components are
+// identical, and compare the measured step composition against the §3.7
+// cost model's predictions — including a paper-scale extrapolation.
+//
+//	go run ./examples/multinode
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"metaprep"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "metaprep-multinode-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	spec, err := metaprep.Preset("LL", 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := metaprep.Generate(spec, filepath.Join(dir, "data"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := metaprep.DefaultIndexOptions()
+	opts.Paired = true
+	opts.ChunkSize = 128 << 10
+	idx, err := metaprep.BuildIndex(ds.Files, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("measured runs (simulated tasks share this machine; comm charged by the network model):")
+	var components int
+	for _, p := range []int{1, 2, 4, 8} {
+		cfg := metaprep.DefaultConfig(idx)
+		cfg.Tasks = p
+		cfg.Passes = 2
+		cfg.Network = metaprep.EdisonNetwork()
+		res, err := metaprep.Partition(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p == 1 {
+			components = res.Components
+		} else if res.Components != components {
+			log.Fatalf("P=%d found %d components, P=1 found %d", p, res.Components, components)
+		}
+		s := res.Steps
+		fmt.Printf("  P=%d: gen=%v comm=%v sort=%v cc=%v merge=%v (components=%d, identical across P)\n",
+			p, (s.KmerGenIO + s.KmerGen).Round(1e6), s.KmerGenComm.Round(1e6),
+			s.LocalSort.Round(1e6), s.LocalCC.Round(1e6),
+			(s.MergeComm + s.MergeCC).Round(1e6), res.Components)
+	}
+
+	fmt.Println("\nmodel: the same job on Edison at the paper's scale (LL, 4.26 Gbp, 24 threads/node):")
+	w := metaprep.PaperWorkload("LL")
+	cal := metaprep.EdisonCalibration()
+	var base float64
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		pred := metaprep.Predict(cal, w, metaprep.ClusterSpec{P: p, T: 24, S: 2})
+		total := pred.Total().Seconds()
+		if p == 1 {
+			base = total
+		}
+		fmt.Printf("  P=%2d: total %6.1fs  speedup %4.1fx  mem/node %5.1f GB\n",
+			p, total, base/total,
+			float64(metaprep.PredictMemory(w, metaprep.ClusterSpec{P: p, T: 24, S: 2}))/float64(1<<30))
+	}
+	fmt.Println("(the paper reports 16-node speedups between 3.2x and 7.5x — sublinear because of the exchange and merge steps)")
+}

@@ -1,0 +1,72 @@
+// Quickstart: generate a small synthetic metagenome, index it, partition
+// its reads into read-graph components, and report what METAPREP found.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"metaprep"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "metaprep-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. A small community: the HG preset at 10% scale (~230 kbp).
+	spec, err := metaprep.Preset("HG", 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := metaprep.Generate(spec, filepath.Join(dir, "data"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d records, %.2f Mbp, %d main + %d rare genomes\n",
+		ds.Records, float64(ds.Bases)/1e6, spec.Species, spec.RareSpecies)
+
+	// 2. IndexCreate (§3.1): the merHist and FASTQPart tables.
+	opts := metaprep.DefaultIndexOptions()
+	opts.Paired = true
+	opts.ChunkSize = 256 << 10
+	idx, err := metaprep.BuildIndex(ds.Files, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d chunks, %d canonical %d-mers\n",
+		len(idx.Chunks), idx.TotalKmers, opts.K)
+
+	// 3. The pipeline (§3.2-§3.6): 2 tasks × 2 threads, 2 passes, and the
+	// KF ≤ 30 frequency filter of §4.4.
+	cfg := metaprep.DefaultConfig(idx)
+	cfg.Tasks = 2
+	cfg.Threads = 2
+	cfg.Passes = 2
+	cfg.Filter = metaprep.Filter{Max: 30}
+	cfg.OutDir = filepath.Join(dir, "parts")
+	res, err := metaprep.Partition(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("partition: %d components; largest holds %d/%d reads (%.1f%%)\n",
+		res.Components, res.LargestSize, res.Reads, 100*res.LargestFraction())
+	fmt.Printf("steps: kmergen=%v sort=%v cc=%v merge=%v io=%v\n",
+		res.Steps.KmerGenIO+res.Steps.KmerGen, res.Steps.LocalSort,
+		res.Steps.LocalCC, res.Steps.MergeComm+res.Steps.MergeCC, res.Steps.CCIO)
+
+	// 4. The two output FASTQ sets are ready for independent assembly.
+	lc := filepath.Join(dir, "lc.fastq")
+	other := filepath.Join(dir, "other.fastq")
+	if err := metaprep.MergeOutput(res, lc, other); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s and %s\n", filepath.Base(lc), filepath.Base(other))
+}

@@ -1,0 +1,3 @@
+module metaprep
+
+go 1.24

@@ -1,0 +1,155 @@
+package assembly
+
+import (
+	"sort"
+
+	"metaprep/internal/kmer"
+	"metaprep/internal/par"
+)
+
+// assembly128.go is the k ≤ 63 de Bruijn graph round, used when a k-list
+// entry exceeds the 64-bit representation's 31-base limit. It mirrors
+// assembleK exactly, over kmer.Kmer128 nodes, which lets the multi-k
+// defaults follow MEGAHIT's real k-list spacing (…, 39, 59) on ~100 bp
+// reads.
+
+// assembleK128 runs one multi-k round at 31 < k ≤ 63.
+func assembleK128(seqs, prevContigs [][]byte, k int, opts Options, final bool) ([][]byte, Stats, error) {
+	// Phase 1: canonical k-mer counting.
+	W := opts.Workers
+	partial := make([]map[kmer.Kmer128]uint32, W)
+	par.Run(W, func(w int) {
+		m := make(map[kmer.Kmer128]uint32)
+		lo, hi := par.Block(len(seqs), W, w)
+		for _, seq := range seqs[lo:hi] {
+			kmer.ForEach128(seq, k, func(_ int, km kmer.Kmer128) {
+				m[km]++
+			})
+		}
+		partial[w] = m
+	})
+	counts := partial[0]
+	for _, m := range partial[1:] {
+		for km, c := range m {
+			counts[km] += c
+		}
+	}
+	// Phase 2: solid set = frequent read k-mers + all prior-contig k-mers.
+	solid := make(map[kmer.Kmer128]struct{}, len(counts))
+	for km, c := range counts {
+		if c >= opts.MinCount {
+			solid[km] = struct{}{}
+		}
+	}
+	counts = nil
+	for _, c := range prevContigs {
+		kmer.ForEach128(c, k, func(_ int, km kmer.Kmer128) {
+			solid[km] = struct{}{}
+		})
+	}
+
+	// Phase 3: deterministic unitig walking.
+	order := make([]kmer.Kmer128, 0, len(solid))
+	for km := range solid {
+		order = append(order, km)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Less(order[j]) })
+
+	g := graph128{k: k, solid: solid, visited: make(map[kmer.Kmer128]struct{}, len(solid))}
+	var contigs [][]byte
+	for _, km := range order {
+		if _, ok := g.visited[km]; ok {
+			continue
+		}
+		c := g.unitig(km)
+		if !final && len(c) < 2*k {
+			continue
+		}
+		contigs = append(contigs, c)
+	}
+
+	stats := ContigStats(contigs)
+	stats.SolidKmers = len(solid)
+	return contigs, stats, nil
+}
+
+// graph128 walks unitigs over the implicit canonical-Kmer128 dBG.
+type graph128 struct {
+	k       int
+	solid   map[kmer.Kmer128]struct{}
+	visited map[kmer.Kmer128]struct{}
+}
+
+func (g *graph128) succ(cur kmer.Kmer128, dst []kmer.Kmer128) []kmer.Kmer128 {
+	dst = dst[:0]
+	for c := uint8(0); c < 4; c++ {
+		next := cur.ShiftLeft2().OrBase(c).And(g.k)
+		if _, ok := g.solid[kmer.Canonical128(next, g.k)]; ok {
+			dst = append(dst, next)
+		}
+	}
+	return dst
+}
+
+func (g *graph128) pred(cur kmer.Kmer128, dst []kmer.Kmer128) []kmer.Kmer128 {
+	dst = dst[:0]
+	for b := uint8(0); b < 4; b++ {
+		prev := cur.ShiftRight2().OrBaseAt(b, g.k)
+		if _, ok := g.solid[kmer.Canonical128(prev, g.k)]; ok {
+			dst = append(dst, prev)
+		}
+	}
+	return dst
+}
+
+func (g *graph128) unitig(start kmer.Kmer128) []byte {
+	k := g.k
+	g.visited[start] = struct{}{}
+	var buf, backBuf [4]kmer.Kmer128
+
+	extend := func(cur kmer.Kmer128, forward bool) []byte {
+		var out []byte
+		for {
+			var nexts []kmer.Kmer128
+			if forward {
+				nexts = g.succ(cur, buf[:0])
+			} else {
+				nexts = g.pred(cur, buf[:0])
+			}
+			if len(nexts) != 1 {
+				return out
+			}
+			next := nexts[0]
+			canon := kmer.Canonical128(next, k)
+			if _, seen := g.visited[canon]; seen {
+				return out
+			}
+			var backs []kmer.Kmer128
+			if forward {
+				backs = g.pred(next, backBuf[:0])
+			} else {
+				backs = g.succ(next, backBuf[:0])
+			}
+			if len(backs) != 1 {
+				return out
+			}
+			g.visited[canon] = struct{}{}
+			if forward {
+				out = append(out, kmer.CharOf(uint8(next.Lo&3)))
+			} else {
+				out = append(out, kmer.CharOf(next.FirstBase(k)))
+			}
+			cur = next
+		}
+	}
+
+	fwd := extend(start, true)
+	bwd := extend(start, false)
+	contig := make([]byte, 0, len(bwd)+k+len(fwd))
+	for i := len(bwd) - 1; i >= 0; i-- {
+		contig = append(contig, bwd[i])
+	}
+	contig = append(contig, kmer.String128(start, k)...)
+	contig = append(contig, fwd...)
+	return contig
+}

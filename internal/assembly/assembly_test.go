@@ -1,0 +1,398 @@
+package assembly
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metaprep/internal/fastq"
+)
+
+func randGenome(rng *rand.Rand, n int) []byte {
+	g := make([]byte, n)
+	for i := range g {
+		g[i] = "ACGT"[rng.Intn(4)]
+	}
+	return g
+}
+
+func revComp(s []byte) []byte {
+	comp := map[byte]byte{'A': 'T', 'C': 'G', 'G': 'C', 'T': 'A'}
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = comp[c]
+	}
+	return out
+}
+
+// tile produces error-free reads covering the genome with the given step.
+func tile(genome []byte, readLen, step int) [][]byte {
+	var reads [][]byte
+	for pos := 0; pos+readLen <= len(genome); pos += step {
+		reads = append(reads, genome[pos:pos+readLen])
+	}
+	reads = append(reads, genome[len(genome)-readLen:])
+	return reads
+}
+
+func TestPerfectReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	genome := randGenome(rng, 3000)
+	reads := tile(genome, 100, 7)
+	opts := Options{K: 21, MinCount: 1, Workers: 1}
+	contigs, stats, err := Assemble(reads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 1 {
+		t.Fatalf("got %d contigs, want 1 (lengths: %v)", len(contigs), lengths(contigs))
+	}
+	got := contigs[0]
+	if !bytes.Equal(got, genome) && !bytes.Equal(got, revComp(genome)) {
+		t.Fatalf("contig (len %d) is not the genome (len %d)", len(got), len(genome))
+	}
+	if stats.MaxBp != len(genome) || stats.N50 != len(genome) || stats.Contigs != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func lengths(contigs [][]byte) []int {
+	var ls []int
+	for _, c := range contigs {
+		ls = append(ls, len(c))
+	}
+	return ls
+}
+
+func TestTwoGenomesTwoContigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g1 := randGenome(rng, 1500)
+	g2 := randGenome(rng, 1000)
+	reads := append(tile(g1, 80, 5), tile(g2, 80, 5)...)
+	contigs, stats, err := Assemble(reads, Options{K: 21, MinCount: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 2 {
+		t.Fatalf("got %d contigs, want 2 (%v)", len(contigs), lengths(contigs))
+	}
+	if stats.TotalBp != 2500 {
+		t.Errorf("TotalBp = %d, want 2500", stats.TotalBp)
+	}
+	if stats.MaxBp != 1500 || stats.N50 != 1500 {
+		t.Errorf("Max=%d N50=%d", stats.MaxBp, stats.N50)
+	}
+}
+
+func TestMinCountDropsSequencingErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	genome := randGenome(rng, 2000)
+	reads := tile(genome, 100, 4)
+	// Corrupt one base of some reads (simulating sequencing errors); each
+	// error's k-mers are unique, so MinCount=2 removes them.
+	for i := 0; i < len(reads); i += 6 {
+		r := append([]byte(nil), reads[i]...)
+		r[50] = "ACGT"[(int(r[50])+1)%4]
+		reads[i] = r
+	}
+	withFilter, statsF, err := Assemble(reads, Options{K: 21, MinCount: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFilter, statsN, err := Assemble(reads, Options{K: 21, MinCount: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsF.SolidKmers >= statsN.SolidKmers {
+		t.Errorf("filter kept %d k-mers, unfiltered %d", statsF.SolidKmers, statsN.SolidKmers)
+	}
+	if len(withFilter) >= len(noFilter) {
+		t.Errorf("filtered assembly has %d contigs, unfiltered %d (errors should fragment the unfiltered graph)",
+			len(withFilter), len(noFilter))
+	}
+	if statsF.MaxBp < 1800 {
+		t.Errorf("filtered assembly max contig %d, want near genome length", statsF.MaxBp)
+	}
+}
+
+func TestRepeatSplitsContigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Genome: A + R + B + R + C — the repeated R (longer than k) forces
+	// branch points that end unitigs.
+	r := randGenome(rng, 200)
+	a, b, c := randGenome(rng, 800), randGenome(rng, 800), randGenome(rng, 800)
+	genome := bytes.Join([][]byte{a, r, b, r, c}, nil)
+	reads := tile(genome, 100, 3)
+	contigs, _, err := Assemble(reads, Options{K: 21, MinCount: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) < 3 {
+		t.Errorf("repeat did not split assembly: %d contigs (%v)", len(contigs), lengths(contigs))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	genome := randGenome(rng, 1000)
+	reads := tile(genome, 60, 9)
+	a, _, err := Assemble(reads, Options{K: 15, MinCount: 1, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Assemble(reads, Options{K: 15, MinCount: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("contig counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("contig %d differs between runs", i)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	contigs, stats, err := Assemble(nil, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 0 || stats.TotalBp != 0 || stats.N50 != 0 {
+		t.Errorf("empty assembly: %d contigs, stats %+v", len(contigs), stats)
+	}
+}
+
+func TestReadsWithNs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	genome := randGenome(rng, 800)
+	reads := tile(genome, 80, 6)
+	for i := range reads {
+		if i%4 == 0 {
+			r := append([]byte(nil), reads[i]...)
+			r[40] = 'N'
+			reads[i] = r
+		}
+	}
+	_, stats, err := Assemble(reads, Options{K: 21, MinCount: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalBp == 0 {
+		t.Error("assembly produced nothing")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{K: 0, MinCount: 1, Workers: 1},
+		{K: 20, MinCount: 1, Workers: 1}, // even k
+		{K: 65, MinCount: 1, Workers: 1},
+		{K: 21, MinCount: 1, Workers: 0},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, o)
+		}
+	}
+	if err := Defaults().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContigStatsN50(t *testing.T) {
+	mk := func(ls ...int) [][]byte {
+		var cs [][]byte
+		for _, l := range ls {
+			cs = append(cs, bytes.Repeat([]byte("A"), l))
+		}
+		return cs
+	}
+	cases := []struct {
+		lens []int
+		n50  int
+	}{
+		{[]int{100}, 100},
+		{[]int{50, 50}, 50},
+		{[]int{90, 10}, 90},
+		{[]int{40, 30, 20, 10}, 30}, // total 100; 40+30 = 70 ≥ 50
+		{nil, 0},
+	}
+	for _, c := range cases {
+		s := ContigStats(mk(c.lens...))
+		if s.N50 != c.n50 {
+			t.Errorf("N50(%v) = %d, want %d", c.lens, s.N50, c.n50)
+		}
+	}
+}
+
+func TestAssembleFiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	genome := randGenome(rng, 600)
+	reads := tile(genome, 70, 5)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reads.fastq")
+	f, _ := os.Create(path)
+	w := fastq.NewWriter(f)
+	for _, r := range reads {
+		_ = w.Write(fastq.Record{ID: []byte("r"), Seq: r, Qual: bytes.Repeat([]byte("I"), len(r))})
+	}
+	_ = w.Flush()
+	f.Close()
+	contigs, stats, err := AssembleFiles([]string{path}, Options{K: 21, MinCount: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 1 || stats.MaxBp != 600 {
+		t.Errorf("contigs=%d max=%d", len(contigs), stats.MaxBp)
+	}
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	genome := randGenome(rng, 20000)
+	reads := tile(genome, 100, 5)
+	opts := Options{K: 21, MinCount: 1, Workers: 1}
+	b.SetBytes(int64(len(reads) * 100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Assemble(reads, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMultiKAssembly(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	genome := randGenome(rng, 2500)
+	reads := tile(genome, 100, 6)
+	opts := Options{KList: []int{15, 21, 27}, MinCount: 1, Workers: 1}
+	contigs, stats, err := Assemble(reads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 1 {
+		t.Fatalf("multi-k: %d contigs (%v)", len(contigs), lengths(contigs))
+	}
+	got := contigs[0]
+	if !bytes.Equal(got, genome) && !bytes.Equal(got, revComp(genome)) {
+		t.Fatalf("multi-k contig (len %d) is not the genome (len %d)", len(got), len(genome))
+	}
+	if stats.Elapsed <= 0 {
+		t.Error("elapsed not measured")
+	}
+}
+
+func TestMultiKImprovesOnLowCoverage(t *testing.T) {
+	// Sparse coverage with errors: small k connects where large k cannot;
+	// multi-k must do at least as well as the largest single k.
+	rng := rand.New(rand.NewSource(9))
+	genome := randGenome(rng, 4000)
+	var reads [][]byte
+	for i := 0; i < 260; i++ {
+		pos := rng.Intn(len(genome) - 90)
+		r := append([]byte(nil), genome[pos:pos+90]...)
+		if rng.Intn(4) == 0 {
+			r[rng.Intn(90)] = "ACGT"[rng.Intn(4)]
+		}
+		reads = append(reads, r)
+	}
+	single, sStats, err := Assemble(reads, Options{K: 27, MinCount: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, mStats, err := Assemble(reads, Options{KList: []int{15, 21, 27}, MinCount: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = single
+	if mStats.N50 < sStats.N50 {
+		t.Errorf("multi-k N50 %d worse than single-k %d", mStats.N50, sStats.N50)
+	}
+	if len(multi) == 0 {
+		t.Fatal("multi-k produced nothing")
+	}
+}
+
+func TestKListValidation(t *testing.T) {
+	bad := []Options{
+		{KList: []int{21, 21}, Workers: 1},
+		{KList: []int{27, 21}, Workers: 1},
+		{KList: []int{21, 28}, Workers: 1},
+		{KList: []int{0}, Workers: 1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d accepted %+v", i, o)
+		}
+	}
+	if err := (Options{KList: []int{15, 21, 31}, Workers: 1}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleK128Reconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	genome := randGenome(rng, 2000)
+	reads := tile(genome, 100, 6)
+	contigs, stats, err := Assemble(reads, Options{K: 55, MinCount: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 1 {
+		t.Fatalf("k=55: %d contigs (%v)", len(contigs), lengths(contigs))
+	}
+	got := contigs[0]
+	if !bytes.Equal(got, genome) && !bytes.Equal(got, revComp(genome)) {
+		t.Fatalf("k=55 contig (len %d) is not the genome", len(got))
+	}
+	if stats.MaxBp != 2000 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestMultiKAcrossRepresentations(t *testing.T) {
+	// A k-list spanning the 64-bit/128-bit boundary must hand contigs
+	// across rounds seamlessly.
+	rng := rand.New(rand.NewSource(11))
+	genome := randGenome(rng, 3000)
+	reads := tile(genome, 100, 5)
+	contigs, _, err := Assemble(reads, Options{KList: []int{21, 29, 39, 59}, MinCount: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 1 {
+		t.Fatalf("mixed-width multi-k: %d contigs (%v)", len(contigs), lengths(contigs))
+	}
+	if !bytes.Equal(contigs[0], genome) && !bytes.Equal(contigs[0], revComp(genome)) {
+		t.Fatal("mixed-width multi-k did not reconstruct the genome")
+	}
+}
+
+func TestLargeKResolvesRepeats(t *testing.T) {
+	// A repeat of length 45 (> k=31, < k=59) fragments the 31-mer graph
+	// but not the 59-mer graph — the reason MEGAHIT iterates to large k.
+	rng := rand.New(rand.NewSource(12))
+	r := randGenome(rng, 45)
+	a, b, c := randGenome(rng, 700), randGenome(rng, 700), randGenome(rng, 700)
+	genome := bytes.Join([][]byte{a, r, b, r, c}, nil)
+	reads := tile(genome, 100, 3)
+	small, _, err := Assemble(reads, Options{K: 31, MinCount: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, _, err := Assemble(reads, Options{K: 59, MinCount: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(large) >= len(small) {
+		t.Errorf("k=59 gave %d contigs, k=31 gave %d — large k should resolve the repeat",
+			len(large), len(small))
+	}
+	if len(large) != 1 {
+		t.Errorf("k=59: %d contigs (%v), want 1", len(large), lengths(large))
+	}
+}

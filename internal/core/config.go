@@ -1,0 +1,182 @@
+// Package core implements the METAPREP pipeline (§3): KmerGen,
+// KmerGen-Comm, LocalSort, LocalCC and MergeCC, orchestrated over a set of
+// simulated MPI tasks with a configurable number of threads each, in one or
+// more I/O passes over the input.
+//
+// The package is deliberately structured the way the paper describes the
+// tool: a static plan derived from the IndexCreate tables precomputes every
+// buffer size and write offset (so threads never synchronize on shared
+// buffers), and each step is a separate, separately-timed phase.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"metaprep/internal/index"
+	"metaprep/internal/mpirt"
+)
+
+// Filter is the k-mer frequency filter of §4.4: read-graph edges are only
+// generated from a k-mer whose dataset-wide frequency f satisfies
+// Min ≤ f ≤ Max. Zero values disable the corresponding bound. The zero
+// Filter generates edges from every shared k-mer (the paper's "None").
+type Filter struct {
+	Min, Max uint32
+}
+
+// Keep reports whether a k-mer with frequency f passes the filter.
+func (fl Filter) Keep(f uint32) bool {
+	if fl.Min > 0 && f < fl.Min {
+		return false
+	}
+	if fl.Max > 0 && f > fl.Max {
+		return false
+	}
+	return true
+}
+
+// String renders the filter the way the paper's tables label it.
+func (fl Filter) String() string {
+	switch {
+	case fl.Min == 0 && fl.Max == 0:
+		return "None"
+	case fl.Min == 0:
+		return fmt.Sprintf("KF<=%d", fl.Max)
+	case fl.Max == 0:
+		return fmt.Sprintf("KF>=%d", fl.Min)
+	default:
+		return fmt.Sprintf("%d<=KF<=%d", fl.Min, fl.Max)
+	}
+}
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	// Index is the prebuilt IndexCreate output for the input files.
+	Index *index.Index
+	// Tasks is P, the number of simulated MPI tasks.
+	Tasks int
+	// Threads is T, the worker threads per task.
+	Threads int
+	// Passes is S, the number of I/O passes (≥ 1). More passes reduce the
+	// per-task tuple-buffer footprint proportionally (§3.7).
+	Passes int
+	// Filter restricts which k-mer frequencies generate read-graph edges.
+	Filter Filter
+	// CCOpt enables the multi-pass LocalCC optimization of §3.5.1:
+	// from the second pass on, tuples carry the read's current component ID
+	// instead of its read ID, concentrating Find lookups on component
+	// roots. It has no effect on single-pass runs.
+	CCOpt bool
+	// Network models inter-task transfer costs (nil: free communication).
+	Network *mpirt.NetworkModel
+	// OutDir receives the partitioned FASTQ output (one largest-component
+	// and one remainder file per thread, §3.6). Empty skips the output
+	// step, producing component labels only.
+	OutDir string
+	// SparseMerge transmits MergeCC payloads as sparse (vertex, parent)
+	// pairs instead of the dense 4R-byte array — the direction of the
+	// component-contraction methods the paper's conclusion proposes for
+	// the MergeCC bottleneck. It pays off when most reads are singletons
+	// (diverse metagenomes); the dense encoding is smaller once more than
+	// half the reads are in components.
+	SparseMerge bool
+	// SplitComponents, when > 0, writes the N largest components to
+	// separate output file sets (component 0, 1, …) plus a remainder set,
+	// instead of the paper's largest-vs-rest split — the "alternate
+	// component-splitting strategies" of the paper's future work. 0 keeps
+	// the paper's behavior.
+	SplitComponents int
+	// DynamicOffsets disables the precomputed-offset KmerGen buffers and
+	// uses an atomic shared cursor instead. This is the ablation for the
+	// paper's claim that the index tables remove synchronization overhead;
+	// production runs leave it false.
+	DynamicOffsets bool
+	// NoVectorKmerGen disables the 4-lane "vectorized" k-mer generator
+	// (§3.2.1, used for k ≤ 31), falling back to the scalar rolling
+	// generator; the ablation benchmark compares the two.
+	NoVectorKmerGen bool
+}
+
+// Default returns a single-task configuration with sensible defaults for
+// the given index: one pass, one thread, the multi-pass optimization on.
+func Default(idx *index.Index) Config {
+	return Config{Index: idx, Tasks: 1, Threads: 1, Passes: 1, CCOpt: true}
+}
+
+// Validate checks configuration invariants.
+func (c Config) Validate() error {
+	if c.Index == nil {
+		return fmt.Errorf("core: nil index")
+	}
+	if err := c.Index.Opts.Validate(); err != nil {
+		return err
+	}
+	if c.Tasks < 1 || c.Threads < 1 || c.Passes < 1 {
+		return fmt.Errorf("core: Tasks=%d Threads=%d Passes=%d must all be ≥ 1",
+			c.Tasks, c.Threads, c.Passes)
+	}
+	if c.Filter.Min > 0 && c.Filter.Max > 0 && c.Filter.Min > c.Filter.Max {
+		return fmt.Errorf("core: filter min %d > max %d", c.Filter.Min, c.Filter.Max)
+	}
+	if c.SplitComponents < 0 {
+		return fmt.Errorf("core: SplitComponents %d < 0", c.SplitComponents)
+	}
+	return nil
+}
+
+// StepTimes holds per-step wall times using the paper's step names
+// (Fig. 5–7). Communication steps include modeled network transfer time
+// when a NetworkModel is configured.
+type StepTimes struct {
+	KmerGenIO   time.Duration // reading FASTQ chunks
+	KmerGen     time.Duration // enumerating tuples
+	KmerGenComm time.Duration // all-to-all tuple exchange
+	LocalSort   time.Duration // partition + per-thread radix sort
+	LocalCC     time.Duration // union–find over sorted runs
+	MergeComm   time.Duration // component-array transfers in the merge tree
+	MergeCC     time.Duration // folding received component arrays
+	CCIO        time.Duration // writing partitioned FASTQ output
+}
+
+// Total sums all steps.
+func (s StepTimes) Total() time.Duration {
+	return s.KmerGenIO + s.KmerGen + s.KmerGenComm + s.LocalSort +
+		s.LocalCC + s.MergeComm + s.MergeCC + s.CCIO
+}
+
+// Add accumulates other into s (used to fold per-pass times).
+func (s *StepTimes) Add(o StepTimes) {
+	s.KmerGenIO += o.KmerGenIO
+	s.KmerGen += o.KmerGen
+	s.KmerGenComm += o.KmerGenComm
+	s.LocalSort += o.LocalSort
+	s.LocalCC += o.LocalCC
+	s.MergeComm += o.MergeComm
+	s.MergeCC += o.MergeCC
+	s.CCIO += o.CCIO
+}
+
+// MaxOf returns the element-wise maximum over per-task step times — the
+// quantity the paper's stacked bar charts report.
+func MaxOf(ts []StepTimes) StepTimes {
+	var m StepTimes
+	for _, t := range ts {
+		m.KmerGenIO = maxDur(m.KmerGenIO, t.KmerGenIO)
+		m.KmerGen = maxDur(m.KmerGen, t.KmerGen)
+		m.KmerGenComm = maxDur(m.KmerGenComm, t.KmerGenComm)
+		m.LocalSort = maxDur(m.LocalSort, t.LocalSort)
+		m.LocalCC = maxDur(m.LocalCC, t.LocalCC)
+		m.MergeComm = maxDur(m.MergeComm, t.MergeComm)
+		m.MergeCC = maxDur(m.MergeCC, t.MergeCC)
+		m.CCIO = maxDur(m.CCIO, t.CCIO)
+	}
+	return m
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

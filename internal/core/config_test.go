@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStepTimesAddAndTotal(t *testing.T) {
+	a := StepTimes{KmerGenIO: 1, KmerGen: 2, KmerGenComm: 3, LocalSort: 4,
+		LocalCC: 5, MergeComm: 6, MergeCC: 7, CCIO: 8}
+	b := a
+	b.Add(a)
+	if b.KmerGen != 4 || b.CCIO != 16 {
+		t.Errorf("Add: %+v", b)
+	}
+	if a.Total() != 36*time.Nanosecond {
+		t.Errorf("Total = %v", a.Total())
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	a := StepTimes{KmerGen: 10, LocalSort: 1}
+	b := StepTimes{KmerGen: 5, LocalSort: 20}
+	m := MaxOf([]StepTimes{a, b})
+	if m.KmerGen != 10 || m.LocalSort != 20 {
+		t.Errorf("MaxOf = %+v", m)
+	}
+	if z := MaxOf(nil); z.Total() != 0 {
+		t.Errorf("MaxOf(nil) = %+v", z)
+	}
+}
+
+func TestFilterKeep(t *testing.T) {
+	cases := []struct {
+		f    Filter
+		freq uint32
+		want bool
+	}{
+		{Filter{}, 1, true},
+		{Filter{Min: 10}, 9, false},
+		{Filter{Min: 10}, 10, true},
+		{Filter{Max: 30}, 30, true},
+		{Filter{Max: 30}, 31, false},
+		{Filter{Min: 10, Max: 30}, 20, true},
+		{Filter{Min: 10, Max: 30}, 5, false},
+		{Filter{Min: 10, Max: 30}, 50, false},
+	}
+	for _, c := range cases {
+		if got := c.f.Keep(c.freq); got != c.want {
+			t.Errorf("%v.Keep(%d) = %v", c.f, c.freq, got)
+		}
+	}
+}

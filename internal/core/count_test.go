@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"metaprep/internal/kmer"
+)
+
+func TestRunCountMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	td := overlappingDataset(t, rng, smallOpts(), 3, 300, 150, 40)
+	want := map[uint64]uint32{}
+	for _, seq := range td.seqs {
+		kmer.ForEach64(seq, 11, func(_ int, m kmer.Kmer64) { want[uint64(m)]++ })
+	}
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 2, 2}, {2, 2, 4}} {
+		cfg := Default(td.idx)
+		cfg.Tasks, cfg.Threads, cfg.Passes = dims[0], dims[1], dims[2]
+		res, err := RunCount(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if res.Len() != len(want) {
+			t.Fatalf("%v: %d distinct k-mers, want %d", dims, res.Len(), len(want))
+		}
+		var total uint64
+		for i, km := range res.KmersLo {
+			if i > 0 && res.KmersLo[i-1] >= km {
+				t.Fatalf("%v: output not strictly sorted at %d", dims, i)
+			}
+			if want[km] != res.Counts[i] {
+				t.Fatalf("%v: k-mer %s count %d, want %d", dims,
+					kmer.String64(kmer.Kmer64(km), 11), res.Counts[i], want[km])
+			}
+			total += uint64(res.Counts[i])
+		}
+		if total != res.Tuples || total != td.idx.TotalKmers {
+			t.Fatalf("%v: counted %d instances, tuples %d, index %d",
+				dims, total, res.Tuples, td.idx.TotalKmers)
+		}
+		if res.KmersHi != nil {
+			t.Fatalf("%v: KmersHi set for k=11", dims)
+		}
+	}
+}
+
+func TestRunCountGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	td := overlappingDataset(t, rng, smallOpts(), 2, 250, 60, 35)
+	res, err := RunCount(Default(td.idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint32{}
+	for _, seq := range td.seqs {
+		kmer.ForEach64(seq, 11, func(_ int, m kmer.Kmer64) { want[uint64(m)]++ })
+	}
+	for km, c := range want {
+		if res.Get(km) != c {
+			t.Fatalf("Get(%d) = %d, want %d", km, res.Get(km), c)
+		}
+	}
+	if res.Get(^uint64(0)) != 0 {
+		t.Error("absent k-mer count != 0")
+	}
+}
+
+func TestRunCount128(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	opts := smallOpts()
+	opts.K = 35
+	td := overlappingDataset(t, rng, opts, 3, 400, 100, 60)
+	res, err := RunCount(Default(td.idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[kmer.Kmer128]uint32{}
+	for _, seq := range td.seqs {
+		kmer.ForEach128(seq, 35, func(_ int, m kmer.Kmer128) { want[m]++ })
+	}
+	if res.Len() != len(want) {
+		t.Fatalf("distinct: %d vs %d", res.Len(), len(want))
+	}
+	if len(res.KmersHi) != res.Len() {
+		t.Fatalf("KmersHi length %d", len(res.KmersHi))
+	}
+	for i := range res.KmersLo {
+		km := kmer.Kmer128{Hi: res.KmersHi[i], Lo: res.KmersLo[i]}
+		if want[km] != res.Counts[i] {
+			t.Fatalf("k-mer %d count %d, want %d", i, res.Counts[i], want[km])
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"metaprep/internal/fastq"
+	"metaprep/internal/index"
+	"metaprep/internal/kmer"
+	"metaprep/internal/par"
+)
+
+// kmergen.go implements the KmerGen step (§3.2): each thread reads its
+// FASTQ chunks and enumerates (canonical k-mer, read ID) tuples for the
+// current pass directly into its precomputed sub-regions of the task's
+// kmerOut buffer — no locks, no atomics (unless the DynamicOffsets ablation
+// is enabled).
+
+// kmerGen runs one pass of tuple enumeration on this task. On return,
+// kmerOut holds gl.total tuples grouped by destination task.
+func (st *taskState) kmerGen(s int, gl genLayout) error {
+	cfg := st.p.cfg
+	T := cfg.Threads
+	passLo, passHi := st.p.pt.PassRange(s)
+
+	// owner[bin-passLo] is the destination task of each bin in this pass's
+	// range — a flat lookup so the per-k-mer cost is one array read rather
+	// than a binary search.
+	owner := make([]uint16, passHi-passLo)
+	cuts := st.p.pt.TaskCuts(s)
+	for dst := 0; dst < cfg.Tasks; dst++ {
+		for b := cuts[dst]; b < cuts[dst+1]; b++ {
+			owner[b-passLo] = uint16(dst)
+		}
+	}
+
+	// The DynamicOffsets ablation replaces per-thread cursors with one
+	// shared atomic cursor per destination region.
+	var sharedCur []uint64
+	if cfg.DynamicOffsets {
+		sharedCur = make([]uint64, cfg.Tasks)
+		copy(sharedCur, gl.dstOff)
+	}
+
+	ioTimes := make([]time.Duration, T)
+	genTimes := make([]time.Duration, T)
+	errs := make([]error, T)
+	par.Run(T, func(t int) {
+		errs[t] = st.kmerGenThread(s, t, gl, owner, passLo, passHi, sharedCur,
+			&ioTimes[t], &genTimes[t])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	st.steps.KmerGenIO += maxOfDur(ioTimes)
+	st.steps.KmerGen += maxOfDur(genTimes)
+	st.tuples += gl.total
+	return nil
+}
+
+func (st *taskState) kmerGenThread(s, t int, gl genLayout, owner []uint16,
+	passLo, passHi int, sharedCur []uint64, ioTime, genTime *time.Duration) error {
+
+	cfg := st.p.cfg
+	idx := st.p.idx
+	T := cfg.Threads
+	k, m := idx.Opts.K, idx.Opts.M
+	use64 := st.p.use64()
+
+	// Per-thread write cursors, one per destination task, with the hard
+	// bound of each exclusive sub-region. If the input changed since
+	// IndexCreate the enumeration can produce more tuples than the index
+	// promised; the bound stops the overflow from stomping another
+	// thread's region and turns it into a clean error below.
+	cur := make([]uint64, cfg.Tasks)
+	lim := make([]uint64, cfg.Tasks)
+	for dst := range cur {
+		cur[dst] = gl.cursor[dst*T+t]
+		if t+1 < T {
+			lim[dst] = gl.cursor[dst*T+t+1]
+		} else {
+			lim[dst] = gl.dstOff[dst] + gl.dstCnt[dst]
+		}
+	}
+	overflow := false
+	emit := func(bin int, hi, lo uint64, val uint32) {
+		dst := int(owner[bin-passLo])
+		var i uint64
+		if sharedCur != nil {
+			i = atomic.AddUint64(&sharedCur[dst], 1) - 1
+			if i >= gl.dstOff[dst]+gl.dstCnt[dst] {
+				overflow = true
+				return
+			}
+		} else {
+			i = cur[dst]
+			if i >= lim[dst] {
+				overflow = true
+				return
+			}
+			cur[dst]++
+		}
+		st.out.set(i, hi, lo, val)
+	}
+
+	var chunkBuf []byte
+	var laneBuf []kmer.Kmer64
+	for _, ci := range st.p.threadChunks[st.rank][t] {
+		c := &idx.Chunks[ci]
+
+		// KmerGen-I/O: load the chunk.
+		t0 := time.Now()
+		if int64(cap(chunkBuf)) < c.Size {
+			chunkBuf = make([]byte, c.Size)
+		}
+		chunkBuf = chunkBuf[:c.Size]
+		if _, err := st.files[c.File].ReadAt(chunkBuf, c.Offset); err != nil {
+			return fmt.Errorf("core: reading chunk %d: %w", ci, err)
+		}
+		*ioTime += time.Since(t0)
+
+		// KmerGen: parse records and enumerate tuples.
+		t0 = time.Now()
+		r := fastq.NewReader(bytes.NewReader(chunkBuf))
+		for n := int32(0); n < c.Records; n++ {
+			rec, err := r.Next()
+			if err != nil {
+				return fmt.Errorf("core: chunk %d record %d: %w", ci, n, err)
+			}
+			readID := idx.ReadIDOf(c, n)
+			val := readID
+			if cfg.CCOpt && s > 0 {
+				// §3.5.1: later passes enumerate the read's current
+				// component ID, concentrating LocalCC's random accesses on
+				// component roots.
+				val = st.dsu.Find(readID)
+			}
+			if use64 {
+				if cfg.NoVectorKmerGen {
+					kmer.ForEach64(rec.Seq, k, func(_ int, km kmer.Kmer64) {
+						bin := int(kmer.Prefix64(km, k, m))
+						if bin >= passLo && bin < passHi {
+							emit(bin, 0, uint64(km), val)
+						}
+					})
+				} else {
+					laneBuf = kmer.AppendCanonical64(laneBuf[:0], rec.Seq, k)
+					for _, km := range laneBuf {
+						bin := int(kmer.Prefix64(km, k, m))
+						if bin >= passLo && bin < passHi {
+							emit(bin, 0, uint64(km), val)
+						}
+					}
+				}
+			} else {
+				kmer.ForEach128(rec.Seq, k, func(_ int, km kmer.Kmer128) {
+					bin := int(kmer.Prefix128(km, k, m))
+					if bin >= passLo && bin < passHi {
+						emit(bin, km.Hi, km.Lo, val)
+					}
+				})
+			}
+		}
+		*genTime += time.Since(t0)
+	}
+
+	// The index promised exact counts; verify this thread filled its
+	// sub-regions precisely (a mismatch, like an overflow above, means the
+	// FASTQ changed since IndexCreate).
+	if overflow {
+		return fmt.Errorf("core: task %d thread %d produced more tuples than the index predicts — input changed since IndexCreate?",
+			st.rank, t)
+	}
+	if sharedCur == nil {
+		for dst := 0; dst < cfg.Tasks; dst++ {
+			if cur[dst] != lim[dst] {
+				return fmt.Errorf("core: task %d thread %d: wrote %d tuples for task %d, index predicts %d — input changed since IndexCreate?",
+					st.rank, t, cur[dst], dst, lim[dst])
+			}
+		}
+	}
+	return nil
+}
+
+// maxOfDur returns the largest duration, the parallel phase's critical-path
+// time across threads.
+func maxOfDur(ds []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// openInputs opens every input file once per task; chunk reads use ReadAt
+// and need no per-thread handles.
+func openInputs(idx *index.Index) ([]*os.File, error) {
+	files := make([]*os.File, len(idx.Files))
+	for i, path := range idx.Files {
+		f, err := os.Open(path)
+		if err != nil {
+			for _, g := range files[:i] {
+				g.Close()
+			}
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		files[i] = f
+	}
+	return files, nil
+}

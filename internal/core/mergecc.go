@@ -1,0 +1,226 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"metaprep/internal/fastq"
+	"metaprep/internal/par"
+)
+
+// mergecc.go implements MergeCC (§3.6): the ⌈log P⌉-round tree merge of
+// local component arrays, the broadcast of the global result, and the
+// partitioned FASTQ output.
+
+// mergeResult is what rank 0 broadcasts after the merge: the flattened
+// component label array, the largest component, and — when component
+// splitting is on — the roots of the components that get their own output
+// file sets (largest first).
+type mergeResult struct {
+	labels      []uint32
+	largestRoot uint32
+	largestSize int
+	topRoots    []uint32
+}
+
+// mergeCC folds all tasks' disjoint-set arrays into rank 0, flattens the
+// result into component labels, and broadcasts labels plus the largest
+// component to every task. All tasks return the same mergeResult (the
+// labels slice is shared read-only across tasks).
+func (st *taskState) mergeCC() mergeResult {
+	T := st.p.cfg.Threads
+	sparse := st.p.cfg.SparseMerge
+
+	// Tree merge: senders snapshot their parent array (the transfer's
+	// payload: 4R bytes dense, or 8 bytes per non-singleton entry sparse);
+	// receivers absorb the payload as implicit edges.
+	var mergeTime time.Duration
+	st.t.TreeMerge(tagMerge,
+		func(dst int) (any, int) {
+			if sparse {
+				pairs := st.dsu.SnapshotSparse(nil)
+				return pairs, 4 * len(pairs)
+			}
+			snap := st.dsu.Snapshot(nil)
+			return snap, 4 * len(snap)
+		},
+		func(src int, payload any) {
+			t0 := time.Now()
+			if sparse {
+				st.dsu.AbsorbPairs(payload.([]uint32), T)
+			} else {
+				st.dsu.Absorb(payload.([]uint32), T)
+			}
+			mergeTime += time.Since(t0)
+		},
+	)
+	st.steps.MergeComm += st.t.TakeCommTime()
+
+	// Rank 0 flattens, finds the largest component, and — for component
+	// splitting — the N largest roots.
+	var res mergeResult
+	if st.rank == 0 {
+		t0 := time.Now()
+		labels := st.dsu.Flatten(T)
+		root, size := st.dsu.LargestComponent()
+		res = mergeResult{labels: labels, largestRoot: root, largestSize: size}
+		if n := st.p.cfg.SplitComponents; n > 0 {
+			res.topRoots = topComponents(st.dsu.ComponentSizes(), n)
+		}
+		mergeTime += time.Since(t0)
+	}
+	st.steps.MergeCC += mergeTime
+
+	// Broadcast the global component list (§3.6: "The global components
+	// list in Rank 0 is broadcast to all other tasks").
+	st.t.Broadcast(tagBcast,
+		func(dst int) (any, int) { return res, 4 * len(res.labels) },
+		func(src int, payload any) { res = payload.(mergeResult) },
+	)
+	st.steps.MergeComm += st.t.TakeCommTime()
+	return res
+}
+
+// topComponents returns the roots of the n largest components, largest
+// first, ties broken toward the smaller root.
+func topComponents(sizes map[uint32]int, n int) []uint32 {
+	type comp struct {
+		root uint32
+		size int
+	}
+	all := make([]comp, 0, len(sizes))
+	for r, s := range sizes {
+		all = append(all, comp{r, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].size != all[j].size {
+			return all[i].size > all[j].size
+		}
+		return all[i].root < all[j].root
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	roots := make([]uint32, n)
+	for i := range roots {
+		roots[i] = all[i].root
+	}
+	return roots
+}
+
+// writeOutput is the CC-I/O step: each thread re-reads its FASTQ chunks and
+// appends every record to one of its private output files (§3.6: "Each
+// thread writes to separate FASTQ files"). By default there are two groups
+// per thread — the largest component and the rest; with SplitComponents
+// there is one group per top component plus the rest. The returned slice is
+// indexed [group][thread].
+func (st *taskState) writeOutput(res mergeResult) ([][]string, error) {
+	cfg := st.p.cfg
+	idx := st.p.idx
+	T := cfg.Threads
+
+	roots := res.topRoots
+	if len(roots) == 0 {
+		roots = []uint32{res.largestRoot}
+	}
+	groupOf := make(map[uint32]int, len(roots))
+	for g, r := range roots {
+		groupOf[r] = g
+	}
+	other := len(roots) // the remainder group
+	groupName := func(g int) string {
+		switch {
+		case g == other:
+			return "other"
+		case len(res.topRoots) == 0:
+			return "lc"
+		default:
+			return fmt.Sprintf("comp%03d", g)
+		}
+	}
+
+	t0 := time.Now()
+	paths := make([][]string, other+1)
+	for g := range paths {
+		paths[g] = make([]string, T)
+	}
+	errs := make([]error, T)
+	par.Run(T, func(t int) {
+		files := make([]*os.File, other+1)
+		writers := make([]*fastq.Writer, other+1)
+		for g := range files {
+			path := filepath.Join(cfg.OutDir,
+				fmt.Sprintf("%s_p%03d_t%03d.fastq", groupName(g), st.rank, t))
+			paths[g][t] = path
+			f, err := os.Create(path)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			defer f.Close()
+			files[g] = f
+			writers[g] = fastq.NewWriter(f)
+		}
+		for _, ci := range st.p.threadChunks[st.rank][t] {
+			c := &idx.Chunks[ci]
+			r := fastq.NewReader(io.NewSectionReader(st.files[c.File], c.Offset, c.Size))
+			for n := int32(0); n < c.Records; n++ {
+				rec, err := r.Next()
+				if err != nil {
+					errs[t] = fmt.Errorf("core: output re-read chunk %d: %w", ci, err)
+					return
+				}
+				g, ok := groupOf[res.labels[idx.ReadIDOf(c, n)]]
+				if !ok {
+					g = other
+				}
+				if err := writers[g].Write(rec); err != nil {
+					errs[t] = err
+					return
+				}
+			}
+		}
+		for _, w := range writers {
+			if err := w.Flush(); err != nil {
+				errs[t] = err
+				return
+			}
+		}
+	})
+	st.steps.CCIO += time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}
+
+// concatFiles concatenates src files into dst (a convenience for callers
+// that want a single LC file; the pipeline itself writes per-thread files
+// as the paper does).
+func concatFiles(dst string, srcs []string) error {
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	bw := bufio.NewWriterSize(out, 1<<20)
+	for _, s := range srcs {
+		f, err := os.Open(s)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(bw, f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"metaprep/internal/mpirt"
+	"metaprep/internal/unionfind"
+)
+
+// Message tags. Tuple exchanges are tagged per pass so a lagging task can
+// never confuse two passes' messages.
+const (
+	tagTuples = 100 // +pass number
+	tagMerge  = 1
+	tagBcast  = 2
+)
+
+// taskState is everything one simulated MPI task owns while the pipeline
+// runs: its rank, communicator endpoint, the two tuple buffers, its local
+// disjoint-set instance, open input files and per-step timers.
+type taskState struct {
+	p    *plan
+	rank int
+	t    *mpirt.Task
+
+	out, in *tupleBuf
+	dsu     *unionfind.DSU
+	files   []*os.File
+
+	steps         StepTimes
+	tuples        uint64
+	edges         uint64
+	ccIters       int
+	maxChunkBytes int64
+	freqHist      [freqHistSize]uint64
+}
+
+// freqHistSize caps the k-mer frequency spectrum the pipeline collects; the
+// last bin aggregates every frequency ≥ freqHistSize-1.
+const freqHistSize = 256
+
+// TaskReport is the per-task accounting the load-balance analysis (Fig. 8)
+// consumes.
+type TaskReport struct {
+	Rank      int
+	Steps     StepTimes
+	Tuples    uint64
+	Edges     uint64
+	BytesSent int64
+	// MergeBytes is the portion of BytesSent spent in the MergeCC tree
+	// (dense: 4R per send; sparse: 8 bytes per non-singleton read).
+	MergeBytes int64
+	// CCIters is the largest Algorithm 1 iteration count across this
+	// task's passes (§3.5 observes the first iteration dominates).
+	CCIters int
+	// MemoryBytes is the task's peak planned memory: index tables, both
+	// tuple buffers, the two component arrays and the FASTQ chunk buffers
+	// (§3.7's inventory).
+	MemoryBytes int64
+}
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	// Labels maps every global read ID to its component root.
+	Labels []uint32
+	// LargestRoot and LargestSize identify the giant component.
+	LargestRoot uint32
+	LargestSize int
+	// Components is the number of connected components.
+	Components int
+	// Reads is R, the number of global read IDs.
+	Reads uint32
+	// Steps is the element-wise maximum of per-task step times — the
+	// quantity the paper's figures report.
+	Steps StepTimes
+	// PerTask holds each task's own accounting.
+	PerTask []TaskReport
+	// Wall is the end-to-end measured wall time of the run.
+	Wall time.Duration
+	// Tuples is the total number of (k-mer, read) tuples enumerated.
+	Tuples uint64
+	// Edges is the number of read-graph edges fed to union–find.
+	Edges uint64
+	// CCIterations is the largest Algorithm 1 iteration count any task saw.
+	CCIterations int
+	// KmerFreqHist is the k-mer frequency spectrum: KmerFreqHist[f] counts
+	// distinct canonical k-mers of frequency f (the last bin aggregates the
+	// tail). It falls out of the sorted runs and is the input to choosing
+	// the §4.4 filter bounds.
+	KmerFreqHist []uint64
+	// MemoryPerTask is the maximum per-task memory figure.
+	MemoryPerTask int64
+	// LCFiles and OtherFiles list the output FASTQ files (empty when
+	// OutDir was not set). With SplitComponents, LCFiles holds component
+	// 0's files and OtherFiles the remainder's; SplitFiles has every group.
+	LCFiles, OtherFiles []string
+	// SplitFiles, indexed [group][...], lists the per-component output
+	// file sets when SplitComponents > 0 (groups ordered largest first,
+	// remainder last). Nil otherwise.
+	SplitFiles [][]string
+}
+
+// LargestFraction returns the largest component's share of all reads, the
+// "LC size (% Reads)" quantity of Table 7.
+func (r *Result) LargestFraction() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.LargestSize) / float64(r.Reads)
+}
+
+// ComponentSizes returns the size of every component keyed by root.
+func (r *Result) ComponentSizes() map[uint32]int {
+	sizes := make(map[uint32]int)
+	for _, l := range r.Labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// Run executes the full METAPREP pipeline under the given configuration.
+func Run(cfg Config) (*Result, error) {
+	pl, err := newPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.OutDir != "" {
+		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	world := mpirt.NewWorld(cfg.Tasks, cfg.Network)
+	reports := make([]TaskReport, cfg.Tasks)
+	freqHists := make([][freqHistSize]uint64, cfg.Tasks)
+	outFiles := make([][][]string, cfg.Tasks) // [rank][group][thread]
+	var final mergeResult
+
+	start := time.Now()
+	err = world.Run(func(task *mpirt.Task) error {
+		st := &taskState{p: pl, rank: task.Rank(), t: task}
+		defer func() {
+			for _, f := range st.files {
+				if f != nil {
+					f.Close()
+				}
+			}
+		}()
+		files, err := openInputs(pl.idx)
+		if err != nil {
+			return err
+		}
+		st.files = files
+		st.out = newTupleBuf(pl.bufTuples[st.rank], !pl.use64())
+		st.in = newTupleBuf(pl.bufTuples[st.rank], !pl.use64())
+		st.dsu = unionfind.New(int(pl.idx.Reads))
+		for _, ci := range pl.taskChunks[st.rank] {
+			if sz := pl.idx.Chunks[ci].Size; sz > st.maxChunkBytes {
+				st.maxChunkBytes = sz
+			}
+		}
+
+		for s := 0; s < cfg.Passes; s++ {
+			gl := pl.genLayout(s, st.rank)
+			rl := pl.recvLayout(s, st.rank)
+			if err := st.kmerGen(s, gl); err != nil {
+				return err
+			}
+			if err := st.exchange(s, gl, rl); err != nil {
+				return err
+			}
+			sl := pl.sortLayout(s, st.rank, rl)
+			st.localSort(s, sl)
+			st.localCC(sl)
+			// Keep passes in lockstep so a fast task cannot start enumerating
+			// pass s+1 component IDs while peers still union pass s edges
+			// (§3.5.1 requires the local DSU to be quiescent at enumeration).
+			task.Barrier()
+		}
+
+		preMergeBytes := task.BytesSent()
+		res := st.mergeCC()
+		mergeBytes := task.BytesSent() - preMergeBytes
+		if st.rank == 0 {
+			final = res
+		}
+		if cfg.OutDir != "" {
+			paths, err := st.writeOutput(res)
+			if err != nil {
+				return err
+			}
+			outFiles[st.rank] = paths
+		}
+
+		freqHists[st.rank] = st.freqHist
+		reports[st.rank] = TaskReport{
+			Rank:        st.rank,
+			Steps:       st.steps,
+			Tuples:      st.tuples,
+			Edges:       st.edges,
+			BytesSent:   task.BytesSent(),
+			MergeBytes:  mergeBytes,
+			CCIters:     st.ccIters,
+			MemoryBytes: st.memoryBytes(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Labels:      final.labels,
+		LargestRoot: final.largestRoot,
+		LargestSize: final.largestSize,
+		Reads:       pl.idx.Reads,
+		Steps:       MaxOf(stepsOf(reports)),
+		PerTask:     reports,
+		Wall:        time.Since(start),
+	}
+	comps := make(map[uint32]struct{})
+	for _, l := range final.labels {
+		comps[l] = struct{}{}
+	}
+	res.Components = len(comps)
+	for _, rep := range reports {
+		res.Tuples += rep.Tuples
+		res.Edges += rep.Edges
+		if rep.MemoryBytes > res.MemoryPerTask {
+			res.MemoryPerTask = rep.MemoryBytes
+		}
+	}
+	if cfg.OutDir != "" {
+		groups := len(outFiles[0])
+		res.SplitFiles = make([][]string, groups)
+		for rank := 0; rank < cfg.Tasks; rank++ {
+			for g := 0; g < groups; g++ {
+				res.SplitFiles[g] = append(res.SplitFiles[g], outFiles[rank][g]...)
+			}
+		}
+		res.LCFiles = res.SplitFiles[0]
+		res.OtherFiles = res.SplitFiles[groups-1]
+		if cfg.SplitComponents == 0 {
+			res.SplitFiles = nil
+		}
+	}
+	for _, rep := range reports {
+		if rep.CCIters > res.CCIterations {
+			res.CCIterations = rep.CCIters
+		}
+	}
+	res.KmerFreqHist = make([]uint64, freqHistSize)
+	for rank := range freqHists {
+		for f, c := range freqHists[rank] {
+			res.KmerFreqHist[f] += c
+		}
+	}
+	return res, nil
+}
+
+// stepsOf projects the step times out of the reports.
+func stepsOf(reports []TaskReport) []StepTimes {
+	ts := make([]StepTimes, len(reports))
+	for i := range reports {
+		ts[i] = reports[i].Steps
+	}
+	return ts
+}
+
+// memoryBytes tallies this task's planned memory per the §3.7 inventory:
+// index tables (replicated), kmerOut and kmerIn, the component array p and
+// the received array p′ (4R each), and T chunk read buffers.
+func (st *taskState) memoryBytes() int64 {
+	idx := st.p.idx
+	mem := idx.MemoryBytes()
+	mem += st.out.memBytes() + st.in.memBytes()
+	mem += 2 * 4 * int64(idx.Reads)
+	mem += int64(st.p.cfg.Threads) * st.maxChunkBytes
+	return mem
+}
+
+// MergeLC concatenates all largest-component output files into one FASTQ
+// and all remainder files into another, returning the two paths. It is a
+// convenience for feeding the partitions to an assembler.
+func MergeLC(res *Result, lcPath, otherPath string) error {
+	if len(res.LCFiles) == 0 {
+		return fmt.Errorf("core: result has no output files (OutDir was not set)")
+	}
+	if err := concatFiles(lcPath, res.LCFiles); err != nil {
+		return err
+	}
+	return concatFiles(otherPath, res.OtherFiles)
+}

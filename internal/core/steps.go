@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"metaprep/internal/par"
+	"metaprep/internal/unionfind"
+)
+
+// steps.go implements the in-memory middle of the pipeline: the tuple
+// exchange (§3.3), the two-stage local sort (§3.4) and the concurrent
+// union–find over sorted runs (§3.5).
+
+// exchange runs the custom all-to-all of §3.3: P stages of point-to-point
+// messages, stage i pairing rank→rank+i. Each received region lands at its
+// precomputed offset in kmerIn; counts are validated against the index's
+// prediction.
+func (st *taskState) exchange(s int, gl genLayout, rl recvLayout) error {
+	t0 := time.Now()
+	var mismatch error
+	st.t.AllToAll(tagTuples+s,
+		func(dst int) (any, int) {
+			cnt := gl.dstCnt[dst]
+			return st.out.msgFor(gl.dstOff[dst], cnt), int(cnt) * st.out.bytesPerTuple()
+		},
+		func(src int, payload any) {
+			got := st.in.receive(rl.srcOff[src], payload.(tupleMsg))
+			if got != rl.srcCnt[src] && mismatch == nil {
+				mismatch = fmt.Errorf("core: task %d received %d tuples from %d, index predicts %d",
+					st.rank, got, src, rl.srcCnt[src])
+			}
+		},
+	)
+	// Messages are zero-copy views into this task's kmerOut; the barrier
+	// guarantees every peer has copied its message out before LocalSort
+	// reuses the buffer. (A real MPI transfer copies on the wire; this is
+	// the in-process equivalent of waiting on the sends.)
+	st.t.Barrier()
+	st.steps.KmerGenComm += time.Since(t0) + st.t.TakeCommTime()
+	return mismatch
+}
+
+// localSort runs the two stages of §3.4 on the received tuples: a parallel
+// range partition of kmerIn into T thread partitions of kmerOut (each
+// (source region, destination partition) cell writing through its own
+// precomputed cursor), then T concurrent serial radix sorts, one partition
+// per thread, with kmerIn as the out-of-place scratch.
+func (st *taskState) localSort(s int, sl sortLayout) {
+	T := st.p.cfg.Threads
+	nr := len(sl.regionOff)
+
+	t0 := time.Now()
+	// Stage 1: partition. Work units are the P×T source regions of kmerIn.
+	thrCuts := binCuts(st.p.pt.ThreadCuts(s, st.rank))
+	par.For(T, nr, func(r int) {
+		cursor := make([]uint64, T)
+		copy(cursor, sl.scatter[r*T:(r+1)*T])
+		off, cnt := sl.regionOff[r], sl.regionCnt[r]
+		in, out := st.in, st.out
+		if in.wide() {
+			for i := off; i < off+cnt; i++ {
+				d := thrCuts.find(binOf128(in.hi[i], in.lo[i], st.p.idx.Opts.K, st.p.idx.Opts.M))
+				j := cursor[d]
+				cursor[d]++
+				out.moveTuple(j, in, i)
+			}
+		} else {
+			k, m := st.p.idx.Opts.K, st.p.idx.Opts.M
+			shift := 2 * uint(k-m)
+			for i := off; i < off+cnt; i++ {
+				d := thrCuts.find(int(in.lo[i] >> shift))
+				j := cursor[d]
+				cursor[d]++
+				out.moveTuple(j, in, i)
+			}
+		}
+	})
+	// Stage 2: per-thread serial radix sort of each partition, scratch in
+	// the (now consumed) kmerIn.
+	par.Run(T, func(d int) {
+		st.out.sortRange(sl.partOff[d], sl.partCnt[d], st.in)
+	})
+	st.steps.LocalSort += time.Since(t0)
+}
+
+// binOf128 extracts the m-mer prefix bin from a packed 128-bit key.
+func binOf128(hi, lo uint64, k, m int) int {
+	shift := 2 * uint(k-m)
+	if shift >= 64 {
+		return int(hi >> (shift - 64))
+	}
+	if shift == 0 {
+		return int(lo)
+	}
+	return int(lo>>shift | hi<<(64-shift))
+}
+
+// binCuts is a precomputed boundary list for locating a bin's thread
+// partition with binary search over T+1 cut points.
+type binCuts []int
+
+func (c binCuts) find(bin int) int {
+	// Linear scan is faster than sort.Search for the small T used per task;
+	// partitions are contiguous and ordered.
+	for d := 1; d < len(c)-1; d++ {
+		if bin < c[d] {
+			return d - 1
+		}
+	}
+	return len(c) - 2
+}
+
+// localCC runs §3.5: every thread walks its sorted partition, turns each
+// run of an equal k-mer into star edges (first read — every other read) if
+// the run's length passes the frequency filter, and feeds them to the
+// shared lock-free union–find with Algorithm 1's buffered re-verification.
+func (st *taskState) localCC(sl sortLayout) {
+	T := st.p.cfg.Threads
+	filter := st.p.cfg.Filter
+	t0 := time.Now()
+	edgeCounts := make([]uint64, T)
+	retries := make([][]unionfind.Edge, T)
+	hists := make([][]uint64, T)
+	par.Run(T, func(d int) {
+		var retry []unionfind.Edge
+		hist := make([]uint64, freqHistSize)
+		st.out.forRuns(sl.partOff[d], sl.partCnt[d], func(start, end uint64) {
+			f := uint32(end - start)
+			// The frequency spectrum falls out of the sorted runs for free;
+			// it is what a user consults to pick the §4.4 filter bounds.
+			if f < freqHistSize {
+				hist[f]++
+			} else {
+				hist[freqHistSize-1]++
+			}
+			if f < 2 || !filter.Keep(f) {
+				return
+			}
+			v0 := st.out.val[start]
+			for i := start + 1; i < end; i++ {
+				vi := st.out.val[i]
+				edgeCounts[d]++
+				if st.dsu.Connect(v0, vi) {
+					retry = append(retry, unionfind.Edge{U: v0, V: vi})
+				}
+			}
+		})
+		retries[d] = retry
+		hists[d] = hist
+	})
+	for _, h := range hists {
+		for f, c := range h {
+			st.freqHist[f] += c
+		}
+	}
+	// Algorithm 1's outer loop: re-verify buffered edges until none remain.
+	iters := 1
+	for {
+		any := false
+		for d := range retries {
+			if len(retries[d]) > 0 {
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+		iters++
+		par.Run(T, func(d int) {
+			buf := retries[d][:0]
+			for _, e := range retries[d] {
+				if st.dsu.Connect(e.U, e.V) {
+					buf = append(buf, e)
+				}
+			}
+			retries[d] = buf
+		})
+	}
+	if iters > st.ccIters {
+		st.ccIters = iters
+	}
+	for _, c := range edgeCounts {
+		st.edges += c
+	}
+	st.steps.LocalCC += time.Since(t0)
+}

@@ -1,0 +1,81 @@
+package fastq
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the parser: it must never panic, and
+// everything it accepts must round-trip through the writer.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte("@x\nACGT\n+\nIIII"))
+	f.Add([]byte("@\n\n+\n\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("@a\r\nAC\r\n+\r\nII\r\n"))
+	f.Add(bytes.Repeat([]byte("@r\nA\n+\nI\n"), 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var recs []Record
+		for {
+			rec, err := r.Next()
+			if err != nil {
+				break
+			}
+			// Fields containing '\r' parse fine but cannot be re-encoded
+			// faithfully (the reader normalizes CRLF), so exclude them from
+			// the round-trip oracle.
+			if bytes.ContainsRune(rec.ID, '\r') || bytes.ContainsRune(rec.Seq, '\r') ||
+				bytes.ContainsRune(rec.Qual, '\r') {
+				continue
+			}
+			recs = append(recs, rec.Clone())
+		}
+		// Round trip whatever parsed.
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rr := NewReader(&buf)
+		for i := range recs {
+			got, err := rr.Next()
+			if err != nil {
+				t.Fatalf("record %d did not round trip: %v", i, err)
+			}
+			if !Equal(got, recs[i]) {
+				t.Fatalf("record %d changed in round trip", i)
+			}
+		}
+		if _, err := rr.Next(); err != io.EOF {
+			t.Fatalf("extra records after round trip: %v", err)
+		}
+	})
+}
+
+// FuzzTrimQuality checks the trimmer's invariants on arbitrary inputs.
+func FuzzTrimQuality(f *testing.F) {
+	f.Add([]byte("ACGT"), []byte("IIII"), 20)
+	f.Add([]byte(""), []byte(""), 5)
+	f.Fuzz(func(t *testing.T, seq, qual []byte, minQ int) {
+		if len(seq) != len(qual) {
+			return
+		}
+		got := TrimQuality(Record{Seq: seq, Qual: qual}, minQ)
+		if len(got.Seq) != len(got.Qual) {
+			t.Fatal("seq/qual parity broken")
+		}
+		if len(got.Seq) > len(seq) {
+			t.Fatal("trim grew the read")
+		}
+		for i := range got.Seq {
+			_ = got.Seq[i]
+		}
+	})
+}

@@ -1,0 +1,29 @@
+package kmer
+
+import "testing"
+
+// FuzzScan64 checks the rolling scanner on arbitrary byte sequences: never
+// panics, and each produced k-mer equals the canonical encoding of its
+// window.
+func FuzzScan64(f *testing.F) {
+	f.Add([]byte("ACGTACGTNNNACGT"), 5)
+	f.Add([]byte(""), 3)
+	f.Add([]byte("acgtACGT"), 31)
+	f.Fuzz(func(t *testing.T, seq []byte, k int) {
+		if k < 1 || k > MaxK64 {
+			return
+		}
+		ForEach64(seq, k, func(pos int, m Kmer64) {
+			if pos < 0 || pos+k > len(seq) {
+				t.Fatalf("window [%d,%d) out of range", pos, pos+k)
+			}
+			enc, ok := Encode64(seq[pos : pos+k])
+			if !ok {
+				t.Fatalf("scanner emitted window with invalid bases at %d", pos)
+			}
+			if Canonical64(enc, k) != m {
+				t.Fatalf("window %d: scanner %d, reference %d", pos, m, Canonical64(enc, k))
+			}
+		})
+	})
+}

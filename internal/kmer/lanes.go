@@ -1,0 +1,116 @@
+package kmer
+
+// lanes.go implements the paper's "vectorized" k-mer generation scheme
+// (§3.2.1, Fig. 3). The original uses SIMD registers to roll four k-mers at
+// once from four equidistant points of a read. Go has no portable SIMD, so
+// the same schedule is expressed as four independent rolling states advanced
+// in one loop body; the compiler can then overlap the four dependency chains
+// (instruction-level parallelism), which is the property the SIMD scheme
+// exploits.
+//
+// The lane generator requires an ACGT-only sequence; callers split reads
+// into maximal valid runs first (see AppendCanonical64).
+
+// laneMinWindows is the smallest number of k-mer windows for which the
+// 4-lane path is used; shorter runs fall back to the scalar roll.
+const laneMinWindows = 16
+
+// appendLanes64 appends the canonical k-mers of an ACGT-only seq to dst in
+// position order using four rolling lanes, and returns the extended slice.
+func appendLanes64(dst []Kmer64, seq []byte, k int) []Kmer64 {
+	nw := len(seq) - k + 1 // number of k-mer windows
+	base := len(dst)
+	dst = append(dst, make([]Kmer64, nw)...)
+	out := dst[base:]
+
+	// Lane l covers windows [cut[l], cut[l+1]).
+	q, r := nw/4, nw%4
+	var cut [5]int
+	for l := 0; l < 4; l++ {
+		cut[l+1] = cut[l] + q
+		if l < r {
+			cut[l+1]++
+		}
+	}
+
+	mask := Mask64(k)
+	rcShift := 2 * uint(k-1)
+
+	// Prime each lane with the first k-1 bases of its segment.
+	var f0, f1, f2, f3, r0, r1, r2, r3 uint64
+	prime := func(start int) (f, rcv uint64) {
+		for _, b := range seq[start : start+k-1] {
+			c := uint64(baseCode[b])
+			f = f<<2 | c
+			rcv = rcv>>2 | (^c&3)<<rcShift
+		}
+		return f & mask, rcv
+	}
+	f0, r0 = prime(cut[0])
+	f1, r1 = prime(cut[1])
+	f2, r2 = prime(cut[2])
+	f3, r3 = prime(cut[3])
+
+	// Advance all four lanes in lockstep for the common length, then finish
+	// the longer lanes (segment lengths differ by at most one).
+	step := func(f, rcv uint64, b byte) (uint64, uint64) {
+		c := uint64(baseCode[b])
+		return (f<<2 | c) & mask, rcv>>2 | (^c&3)<<rcShift
+	}
+	emit := func(f, rcv uint64) Kmer64 {
+		if rcv < f {
+			return Kmer64(rcv)
+		}
+		return Kmer64(f)
+	}
+	for i := 0; i < q; i++ {
+		f0, r0 = step(f0, r0, seq[cut[0]+i+k-1])
+		f1, r1 = step(f1, r1, seq[cut[1]+i+k-1])
+		f2, r2 = step(f2, r2, seq[cut[2]+i+k-1])
+		f3, r3 = step(f3, r3, seq[cut[3]+i+k-1])
+		out[cut[0]+i] = emit(f0, r0)
+		out[cut[1]+i] = emit(f1, r1)
+		out[cut[2]+i] = emit(f2, r2)
+		out[cut[3]+i] = emit(f3, r3)
+	}
+	fs := [4]uint64{f0, f1, f2, f3}
+	rs := [4]uint64{r0, r1, r2, r3}
+	for l := 0; l < 4; l++ {
+		for i := cut[l] + q; i < cut[l+1]; i++ {
+			fs[l], rs[l] = step(fs[l], rs[l], seq[i+k-1])
+			out[i] = emit(fs[l], rs[l])
+		}
+	}
+	return dst
+}
+
+// AppendCanonical64 appends all canonical k-mers of seq (skipping windows
+// containing non-ACGT bytes) to dst in position order and returns the
+// extended slice. Long valid runs use the 4-lane generator; short runs use
+// the scalar roll. The result is identical to collecting ForEach64 output.
+func AppendCanonical64(dst []Kmer64, seq []byte, k int) []Kmer64 {
+	i := 0
+	for i < len(seq) {
+		// Find the next maximal ACGT run [i, j).
+		if _, ok := CodeOf(seq[i]); !ok {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(seq) {
+			if _, ok := CodeOf(seq[j]); !ok {
+				break
+			}
+			j++
+		}
+		if nw := j - i - k + 1; nw >= laneMinWindows {
+			dst = appendLanes64(dst, seq[i:j], k)
+		} else if nw >= 1 {
+			ForEach64(seq[i:j], k, func(_ int, m Kmer64) {
+				dst = append(dst, m)
+			})
+		}
+		i = j + 1
+	}
+	return dst
+}

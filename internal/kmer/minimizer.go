@@ -1,0 +1,24 @@
+package kmer
+
+// minimizer.go provides m-mer minimizers of k-mers, used by the KMC 2-style
+// baseline counter (package kmc) to bin consecutive k-mers into super
+// k-mers. The minimizer of a k-mer is its lexicographically smallest m-mer
+// substring (computed on the packed 2-bit form, where numeric order equals
+// lexicographic order); ties keep the leftmost occurrence.
+
+// Minimizer64 returns the smallest m-mer of a length-k Kmer64 and the
+// 0-based position at which it occurs. It requires 1 ≤ m ≤ k ≤ 31.
+func Minimizer64(km Kmer64, k, m int) (uint64, int) {
+	mask := uint64(1)<<(2*uint(m)) - 1
+	v := uint64(km)
+	best := uint64(1) << 63 // larger than any 2m-bit value (m ≤ 31)
+	bestPos := 0
+	for pos := 0; pos <= k-m; pos++ {
+		// The m-mer at position pos occupies bits [2(k-pos-m), 2(k-pos)).
+		mm := v >> (2 * uint(k-pos-m)) & mask
+		if mm < best {
+			best, bestPos = mm, pos
+		}
+	}
+	return best, bestPos
+}

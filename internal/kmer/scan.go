@@ -1,0 +1,75 @@
+package kmer
+
+// scan.go implements rolling canonical k-mer enumeration over read
+// sequences. K-mers containing a non-ACGT byte (such as 'N') are skipped, as
+// in the paper's KmerGen step (§3.2): the scanner restarts its rolling state
+// after each invalid byte, so exactly the k-mers fully contained in maximal
+// ACGT runs are produced.
+
+// ForEach64 calls fn(pos, canonical) for every canonical k-mer of seq, in
+// position order. pos is the 0-based offset of the k-mer's first base.
+// The function does nothing when len(seq) < k.
+func ForEach64(seq []byte, k int, fn func(pos int, m Kmer64)) {
+	mask := Mask64(k)
+	rcShift := 2 * uint(k-1)
+	var fwd, rc uint64
+	run := 0 // number of consecutive valid bases ending at the current one
+	for i, b := range seq {
+		c, ok := CodeOf(b)
+		if !ok {
+			run = 0
+			continue
+		}
+		fwd = (fwd<<2 | uint64(c)) & mask
+		rc = rc>>2 | uint64(^c&3)<<rcShift
+		run++
+		if run >= k {
+			m := Kmer64(fwd)
+			if r := Kmer64(rc); r < m {
+				m = r
+			}
+			fn(i-k+1, m)
+		}
+	}
+}
+
+// ForEach128 is ForEach64 for the 128-bit representation (k ≤ 63).
+func ForEach128(seq []byte, k int, fn func(pos int, m Kmer128)) {
+	var fwd, rc Kmer128
+	run := 0
+	for i, b := range seq {
+		c, ok := CodeOf(b)
+		if !ok {
+			run = 0
+			continue
+		}
+		fwd = fwd.ShiftLeft2().OrBase(c).And(k)
+		rc = rc.ShiftRight2().OrBaseAt(^c&3, k)
+		run++
+		if run >= k {
+			m := fwd
+			if rc.Less(m) {
+				m = rc
+			}
+			fn(i-k+1, m)
+		}
+	}
+}
+
+// Count64 returns the number of k-mers ForEach64 would produce for seq:
+// the number of length-k windows that contain only ACGT bases. IndexCreate
+// uses it (via prefix histograms) to size every downstream buffer exactly.
+func Count64(seq []byte, k int) int {
+	n, run := 0, 0
+	for _, b := range seq {
+		if _, ok := CodeOf(b); !ok {
+			run = 0
+			continue
+		}
+		run++
+		if run >= k {
+			n++
+		}
+	}
+	return n
+}

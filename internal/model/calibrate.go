@@ -1,0 +1,192 @@
+package model
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"metaprep/internal/kmer"
+	"metaprep/internal/radix"
+	"metaprep/internal/unionfind"
+)
+
+// Calibrate measures this host's kernel throughputs with short
+// micro-benchmarks (a few hundred milliseconds total) and returns a
+// Calibration for model predictions on this machine. dir is scratch space
+// for the I/O probe (e.g. os.TempDir()).
+//
+// In-process "communication" is a memory copy, so CommBW is set from
+// measured copy bandwidth and the warmup term is zero: on one host the
+// model's multi-node predictions describe a cluster of nodes with this
+// host's core, fed by an Edison-like interconnect unless the caller
+// overrides CommBW.
+func Calibrate(dir string) Calibration {
+	cal := Calibration{
+		Name:          "host",
+		CCOptBoost:    measureCCOptBoost(),
+		IOScalesWithT: false,
+		Latency:       time.Microsecond,
+	}
+	cal.ScanBasesPerSec = measureScan()
+	cal.EmitTuplesPerSec = measureEmit()
+	cal.SortTuplesPerSec = measureSort()
+	cal.CCEdgesPerSec = measureCC()
+	cal.AbsorbOpsPerSec = measureAbsorb()
+	cal.ReadBW, cal.WriteBW = measureIO(dir)
+	cal.CommBW = measureCopyBW()
+	cal.CommWarmup = 0
+	return cal
+}
+
+func synthSeq(n int) []byte {
+	rng := rand.New(rand.NewSource(1))
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+// measureScan times rolling k-mer enumeration without tuple storage.
+func measureScan() float64 {
+	seq := synthSeq(1 << 20)
+	var sink kmer.Kmer64
+	start := time.Now()
+	reps := 50
+	for r := 0; r < reps; r++ {
+		kmer.ForEach64(seq, 27, func(_ int, m kmer.Kmer64) { sink ^= m })
+	}
+	el := time.Since(start).Seconds()
+	_ = sink
+	return float64(reps) * float64(len(seq)) / el
+}
+
+// measureEmit times the 4-lane generator including buffer stores, the
+// closest proxy for KmerGen's per-tuple marginal cost.
+func measureEmit() float64 {
+	seq := synthSeq(1 << 20)
+	buf := make([]kmer.Kmer64, 0, 1<<20)
+	start := time.Now()
+	reps := 50
+	for r := 0; r < reps; r++ {
+		buf = kmer.AppendCanonical64(buf[:0], seq, 27)
+	}
+	el := time.Since(start).Seconds()
+	return float64(reps) * float64(len(buf)) / el
+}
+
+func measureSort() float64 {
+	n := 1 << 20
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]uint64, n)
+	vals := make([]uint32, n)
+	work := make([]uint64, n)
+	workV := make([]uint32, n)
+	tmpK := make([]uint64, n)
+	tmpV := make([]uint32, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() & (1<<54 - 1)
+		vals[i] = uint32(i)
+	}
+	start := time.Now()
+	reps := 5
+	for r := 0; r < reps; r++ {
+		copy(work, keys)
+		copy(workV, vals)
+		radix.SortPairs64(work, workV, tmpK, tmpV, 8)
+	}
+	el := time.Since(start).Seconds()
+	return float64(reps) * float64(n) / el
+}
+
+func measureCC() float64 {
+	n := 1 << 20
+	rng := rand.New(rand.NewSource(3))
+	edges := make([]unionfind.Edge, n)
+	for i := range edges {
+		edges[i] = unionfind.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+	}
+	start := time.Now()
+	reps := 3
+	for r := 0; r < reps; r++ {
+		d := unionfind.New(n)
+		d.ProcessEdges(edges, 1)
+	}
+	el := time.Since(start).Seconds()
+	return float64(reps) * float64(n) / el
+}
+
+// measureCCOptBoost compares edge processing against read IDs (scattered)
+// with processing against component roots (concentrated), the §3.5.1
+// locality effect.
+func measureCCOptBoost() float64 {
+	n := 1 << 20
+	rng := rand.New(rand.NewSource(4))
+	scattered := make([]unionfind.Edge, n)
+	for i := range scattered {
+		scattered[i] = unionfind.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+	}
+	concentrated := make([]unionfind.Edge, n)
+	for i := range concentrated {
+		concentrated[i] = unionfind.Edge{U: uint32(rng.Intn(1024)), V: uint32(rng.Intn(1024))}
+	}
+	timeFor := func(edges []unionfind.Edge) float64 {
+		start := time.Now()
+		d := unionfind.New(n)
+		d.ProcessEdges(edges, 1)
+		return time.Since(start).Seconds()
+	}
+	slow := timeFor(scattered)
+	fast := timeFor(concentrated)
+	if fast <= 0 {
+		return 1
+	}
+	boost := slow / fast
+	if boost < 1 {
+		boost = 1
+	}
+	return boost
+}
+
+func measureAbsorb() float64 {
+	n := 1 << 20
+	rng := rand.New(rand.NewSource(5))
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(rng.Intn(n))
+	}
+	d := unionfind.New(n)
+	start := time.Now()
+	d.Absorb(p, 1)
+	el := time.Since(start).Seconds()
+	return float64(n) / el
+}
+
+func measureIO(dir string) (readBW, writeBW float64) {
+	path := filepath.Join(dir, "metaprep_io_probe.bin")
+	defer os.Remove(path)
+	buf := make([]byte, 32<<20)
+	start := time.Now()
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return 500e6, 300e6
+	}
+	writeBW = float64(len(buf)) / time.Since(start).Seconds()
+	start = time.Now()
+	got, err := os.ReadFile(path)
+	if err != nil || len(got) != len(buf) {
+		return 500e6, writeBW
+	}
+	readBW = float64(len(buf)) / time.Since(start).Seconds()
+	return readBW, writeBW
+}
+
+func measureCopyBW() float64 {
+	src := make([]byte, 64<<20)
+	dst := make([]byte, 64<<20)
+	start := time.Now()
+	copy(dst, src)
+	copy(src, dst)
+	el := time.Since(start).Seconds()
+	return 2 * float64(len(src)) / el
+}

@@ -1,0 +1,331 @@
+// Package model implements the analytic performance model of §3.7 as a
+// small cluster simulator. It exists because wall-clock scaling curves
+// cannot be measured on the single-core build host: the pipeline's real
+// concurrent implementation is validated for correctness by the core
+// package's tests, and this model — the paper's own cost analysis, with
+// measured or Edison-fitted constants — regenerates the multi-node scaling
+// figures (Figs. 5–7) and the multi-pass time/memory table (Table 3).
+//
+// The model follows §3.7's inventory. With M the total bases, R the reads,
+// and the tuple count N ≈ M (one tuple per valid k-mer window):
+//
+//	KmerGen-I/O  = S·(disk bytes)/P ÷ io bandwidth      (S redundant reads)
+//	KmerGen      = S·(M/P)/(T·scan) + (N/P)/(T·emit)
+//	KmerGen-Comm = cross bytes · (1/β + warmup/S) + P·S·α
+//	LocalSort    = (N/P)/(T·sort)
+//	LocalCC      = edges at base rate; passes ≥ 2 run ccOptBoost× faster
+//	               under the §3.5.1 optimization
+//	Merge        = ⌈log P⌉ rounds of 4R-byte transfers plus absorbs
+//	CC-I/O       = re-read + write of the partition output
+//
+// The KmerGen-Comm warmup term models the paper's observation that the
+// first pass's exchange is much more expensive than later passes (Table 3:
+// 20.9 s at S=1 falling to 8.6 s at S=8 for constant total bytes) — the
+// cost is proportional to the bytes of the first pass, i.e. ∝ 1/S.
+package model
+
+import (
+	"time"
+
+	"metaprep/internal/index"
+)
+
+// Workload describes a dataset as the model sees it.
+type Workload struct {
+	// Name labels the dataset in reports.
+	Name string
+	// Bases is M, total base pairs across all reads.
+	Bases int64
+	// DiskBytes is the FASTQ volume on disk.
+	DiskBytes int64
+	// Reads is R, the number of global read IDs.
+	Reads int64
+	// Tuples is the number of (k-mer, read) tuples enumerated.
+	Tuples int64
+	// Edges is the number of read-graph edges LocalCC processes. When 0,
+	// Tuples is used as a proxy.
+	Edges int64
+	// TupleBytes is 12 for k ≤ 31 and 20 for k ≤ 63.
+	TupleBytes int
+	// IndexBytes is the resident size of merHist + FASTQPart, and
+	// ChunkBytes the size of one FASTQ chunk, for the memory model.
+	IndexBytes int64
+	ChunkBytes int64
+}
+
+// FromIndex derives a Workload from a built index.
+func FromIndex(idx *index.Index) Workload {
+	var disk int64
+	var chunk int64
+	for ci := range idx.Chunks {
+		disk += idx.Chunks[ci].Size
+		if idx.Chunks[ci].Size > chunk {
+			chunk = idx.Chunks[ci].Size
+		}
+	}
+	tb := 12
+	if !idx.Opts.Use64() {
+		tb = 20
+	}
+	return Workload{
+		Bases:      idx.TotalBases,
+		DiskBytes:  disk,
+		Reads:      int64(idx.Reads),
+		Tuples:     int64(idx.TotalKmers),
+		TupleBytes: tb,
+		IndexBytes: idx.MemoryBytes(),
+		ChunkBytes: chunk,
+	}
+}
+
+// PaperWorkload returns the paper-scale datasets of Table 2 (HG, LL, MM,
+// IS) for paper-scale predictions. Read length ~197 bp (M/R); tuples ≈
+// bases minus (k-1) per read; disk bytes ≈ 2.5 bytes per base of FASTQ.
+func PaperWorkload(name string) Workload {
+	type row struct {
+		reads float64 // ×1e6 read pairs
+		gbp   float64
+	}
+	rows := map[string]row{
+		"HG": {12.7, 2.29},
+		"LL": {21.3, 4.26},
+		"MM": {54.8, 11.07},
+		"IS": {1132.8, 223.26},
+	}
+	r, ok := rows[name]
+	if !ok {
+		return Workload{}
+	}
+	bases := int64(r.gbp * 1e9)
+	reads := int64(r.reads * 1e6)
+	records := reads * 2
+	tuples := bases - records*26 // k=27 windows lost per record
+	if tuples < 0 {
+		tuples = bases
+	}
+	disk := int64(float64(bases) * 2.5)
+	chunks := int64(384) // Table 5: 384 chunks for HG/LL/MM, 1536 for IS
+	if name == "IS" {
+		chunks = 1536
+	}
+	return Workload{
+		Name:       name,
+		Bases:      bases,
+		DiskBytes:  disk,
+		Reads:      reads,
+		Tuples:     tuples,
+		TupleBytes: 12,
+		// merHist (4 MB at m=10) plus 4 MB per chunk of FASTQPart (§3.7's
+		// worked example: ≈6 GB for IS's 1536 chunks).
+		IndexBytes: 4<<20 + chunks*(4<<20),
+		ChunkBytes: disk / chunks,
+	}
+}
+
+// Cluster is a machine configuration: P tasks (nodes), T threads each,
+// S passes.
+type Cluster struct {
+	P, T, S int
+}
+
+// Steps is the model's per-step prediction, aligned with core.StepTimes.
+type Steps struct {
+	KmerGenIO   time.Duration
+	KmerGen     time.Duration
+	KmerGenComm time.Duration
+	LocalSort   time.Duration
+	LocalCC     time.Duration
+	MergeComm   time.Duration
+	MergeCC     time.Duration
+	CCIO        time.Duration
+}
+
+// Total sums the steps.
+func (s Steps) Total() time.Duration {
+	return s.KmerGenIO + s.KmerGen + s.KmerGenComm + s.LocalSort +
+		s.LocalCC + s.MergeComm + s.MergeCC + s.CCIO
+}
+
+// Calibration holds the machine constants. Rates are per core; bandwidths
+// per node.
+type Calibration struct {
+	// Name labels the machine ("edison", "ganga", "host").
+	Name string
+	// ScanBasesPerSec is FASTQ parsing + k-mer rolling throughput.
+	ScanBasesPerSec float64
+	// EmitTuplesPerSec is the marginal cost of binning and storing tuples.
+	EmitTuplesPerSec float64
+	// SortTuplesPerSec covers the partition plus 8-pass radix sort.
+	SortTuplesPerSec float64
+	// CCEdgesPerSec is union–find edge processing.
+	CCEdgesPerSec float64
+	// CCOptBoost is the speedup of LocalCC passes ≥ 2 under §3.5.1.
+	CCOptBoost float64
+	// AbsorbOpsPerSec is the MergeCC fold rate.
+	AbsorbOpsPerSec float64
+	// ReadBW / WriteBW are per-node file-system bandwidths; IOScalesWithT
+	// marks file systems whose per-node bandwidth requires multiple
+	// streams to saturate (Edison's Lustre) as opposed to ones serialized
+	// regardless of threads (Ganga's shared NFS, §4.1.1). AggregateIOBW,
+	// when nonzero, caps the file system's total bandwidth across all
+	// nodes — the contention that makes "KmerGen-I/O not scale to high
+	// process counts" in §4.1.2.
+	ReadBW, WriteBW float64
+	AggregateIOBW   float64
+	IOScalesWithT   bool
+	// PerThreadIOBW limits a single stream when IOScalesWithT.
+	PerThreadIOBW float64
+	// CommBW is the effective exchange bandwidth (bytes/s); Latency the
+	// per-message cost; CommWarmup the first-pass extra seconds per byte.
+	CommBW     float64
+	Latency    time.Duration
+	CommWarmup float64
+	// CoreCap bounds the effective parallelism of the memory-bound compute
+	// kernels: beyond it, extra threads only contend for the node's memory
+	// bandwidth (Fig. 5's 14.5× ceiling on 24 Edison cores). 0 = no cap.
+	CoreCap int
+	// Startup is the fixed per-run cost (launch, opening every chunk,
+	// first barriers). It does not shrink with P, which is why the paper's
+	// smallest dataset scales worst across nodes (HG: 3.23× on 16 nodes).
+	Startup time.Duration
+}
+
+// Edison returns constants fitted to the paper's own measurements (Table 3
+// and §4's machine description: 24-core nodes, 99 GB/s STREAM, 8 GB/s
+// links; effective exchange bandwidth and warmup fitted to the Table 3
+// KmerGen-Comm column).
+func Edison() Calibration {
+	// Fitted to Table 3 (MM on 4 nodes, 24 threads/node): the published
+	// KmerGen column covers both chunk reads and parsing, split here
+	// half-and-half between ReadBW and ScanBasesPerSec so the per-pass sum
+	// matches the measured 3.2 s/pass with a 7.7 s one-time emit cost.
+	// Rates are fitted at the effective parallelism CoreCap=15, the point
+	// where Edison's 24 threads saturate its memory system.
+	return Calibration{
+		Name:             "edison",
+		ScanBasesPerSec:  115e6,
+		EmitTuplesPerSec: 17.7e6,
+		SortTuplesPerSec: 10.95e6,
+		CCEdgesPerSec:    21e6,
+		CCOptBoost:       3.2,
+		AbsorbOpsPerSec:  8e6,
+		ReadBW:           4.3e9,
+		WriteBW:          2.6e9,
+		AggregateIOBW:    30e9,
+		IOScalesWithT:    true,
+		PerThreadIOBW:    0.4e9,
+		CommBW:           3.15e9,
+		Latency:          time.Microsecond,
+		CommWarmup:       0.75e-9,
+		CoreCap:          15,
+		Startup:          2 * time.Second,
+	}
+}
+
+// Ganga returns constants for the Penn State Ganga node of §4.1.1: a
+// ~5× slower node whose shared file system does not scale parallel writes.
+func Ganga() Calibration {
+	// Ganga's cores are close to Edison's per-thread (§4.1.1's 5× gap at
+	// full node width comes from having half the cores, a lower memory
+	// ceiling, and a shared NFS whose reads and writes do not scale).
+	c := Edison()
+	c.Name = "ganga"
+	c.ScanBasesPerSec /= 1.3
+	c.EmitTuplesPerSec /= 1.3
+	c.SortTuplesPerSec /= 1.3
+	c.CCEdgesPerSec /= 1.3
+	c.AbsorbOpsPerSec /= 1.3
+	c.ReadBW = 0.15e9
+	c.WriteBW = 0.06e9
+	c.IOScalesWithT = false
+	c.CoreCap = 8
+	return c
+}
+
+// Predict evaluates the cost model.
+func Predict(cal Calibration, w Workload, c Cluster) Steps {
+	if c.P < 1 {
+		c.P = 1
+	}
+	if c.T < 1 {
+		c.T = 1
+	}
+	if c.S < 1 {
+		c.S = 1
+	}
+	P := float64(c.P)
+	T := float64(c.T)
+	if cal.CoreCap > 0 && T > float64(cal.CoreCap) {
+		T = float64(cal.CoreCap)
+	}
+	S := float64(c.S)
+	edges := float64(w.Edges)
+	if edges == 0 {
+		edges = float64(w.Tuples)
+	}
+	tuplesTask := float64(w.Tuples) / P
+	basesTask := float64(w.Bases) / P
+	diskTask := float64(w.DiskBytes) / P
+
+	readBW := cal.ReadBW
+	writeBW := cal.WriteBW
+	if cal.IOScalesWithT {
+		readBW = minf(T*cal.PerThreadIOBW, cal.ReadBW)
+		writeBW = minf(T*cal.PerThreadIOBW, cal.WriteBW)
+	}
+	if cal.AggregateIOBW > 0 {
+		readBW = minf(readBW, cal.AggregateIOBW/P)
+		writeBW = minf(writeBW, cal.AggregateIOBW/P)
+	}
+
+	var s Steps
+	s.KmerGenIO = cal.Startup + sec(S*diskTask/readBW)
+	s.KmerGen = sec(S*basesTask/(T*cal.ScanBasesPerSec) + tuplesTask/(T*cal.EmitTuplesPerSec))
+	if c.P > 1 {
+		cross := tuplesTask * float64(w.TupleBytes) * (P - 1) / P
+		s.KmerGenComm = sec(cross/cal.CommBW+cross*cal.CommWarmup/S) +
+			time.Duration(float64(c.P)*S)*cal.Latency
+	}
+	s.LocalSort = sec(tuplesTask / (T * cal.SortTuplesPerSec))
+	edgesTask := edges / P
+	if c.S > 1 {
+		// First pass at base rate, later passes boosted by §3.5.1.
+		s.LocalCC = sec(edgesTask/S/(T*cal.CCEdgesPerSec) +
+			edgesTask*(S-1)/S/(T*cal.CCEdgesPerSec*cal.CCOptBoost))
+	} else {
+		s.LocalCC = sec(edgesTask / (T * cal.CCEdgesPerSec))
+	}
+	if c.P > 1 {
+		rounds := 0
+		for step := 1; step < c.P; step <<= 1 {
+			rounds++
+		}
+		bytesPerRound := 4 * float64(w.Reads)
+		s.MergeComm = sec(float64(rounds)*bytesPerRound*(1/cal.CommBW+cal.CommWarmup/S)) +
+			time.Duration(rounds)*cal.Latency
+		s.MergeCC = sec(float64(rounds) * float64(w.Reads) / (T * cal.AbsorbOpsPerSec))
+	}
+	s.CCIO = sec(diskTask/readBW + diskTask/writeBW)
+	return s
+}
+
+// MemoryPerTask evaluates §3.7's per-task memory inventory in bytes:
+// index tables + T chunk buffers + kmerOut + kmerIn + p + p′.
+func MemoryPerTask(w Workload, c Cluster) int64 {
+	tuples := w.Tuples / int64(c.P) / int64(c.S)
+	return w.IndexBytes +
+		int64(c.T)*w.ChunkBytes +
+		2*int64(w.TupleBytes)*tuples +
+		8*w.Reads
+}
+
+func sec(x float64) time.Duration {
+	return time.Duration(x * float64(time.Second))
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaperWorkloads(t *testing.T) {
+	for _, name := range []string{"HG", "LL", "MM", "IS"} {
+		w := PaperWorkload(name)
+		if w.Bases == 0 || w.Reads == 0 || w.Tuples == 0 {
+			t.Errorf("%s: empty workload %+v", name, w)
+		}
+		if w.Tuples > w.Bases {
+			t.Errorf("%s: tuples %d exceed bases %d", name, w.Tuples, w.Bases)
+		}
+	}
+	if w := PaperWorkload("nope"); w.Bases != 0 {
+		t.Error("unknown workload nonempty")
+	}
+}
+
+func TestPredictISMatchesPaperHeadline(t *testing.T) {
+	// The paper's headline: IS (223 Gbp) on 16 Edison nodes with 8 passes
+	// runs in ~14 minutes; Fig. 7 shows ~860 s. The Edison-fitted model
+	// must land in that neighborhood (generously ±50%).
+	s := Predict(Edison(), PaperWorkload("IS"), Cluster{P: 16, T: 24, S: 8})
+	total := s.Total()
+	if total < 430*time.Second || total > 1300*time.Second {
+		t.Errorf("IS@16 nodes predicted %v, paper ~860 s", total)
+	}
+	// And the 64-node, 2-pass run is ~3.25× faster (Fig. 7).
+	s64 := Predict(Edison(), PaperWorkload("IS"), Cluster{P: 64, T: 24, S: 2})
+	speedup := total.Seconds() / s64.Total().Seconds()
+	if speedup < 2 || speedup > 5 {
+		t.Errorf("16→64 node speedup = %.2f, paper 3.25", speedup)
+	}
+}
+
+func TestPredictTable3Shape(t *testing.T) {
+	// Varying passes on MM at 4 nodes must reproduce Table 3's directions:
+	// KmerGen grows with S, KmerGen-Comm shrinks, LocalSort ~constant,
+	// LocalCC shrinks, memory shrinks.
+	w := PaperWorkload("MM")
+	var prev Steps
+	var prevMem int64
+	for i, s := range []int{1, 2, 4, 8} {
+		cur := Predict(Edison(), w, Cluster{P: 4, T: 24, S: s})
+		mem := MemoryPerTask(w, Cluster{P: 4, T: 24, S: s})
+		if i > 0 {
+			if cur.KmerGen <= prev.KmerGen {
+				t.Errorf("S=%d: KmerGen %v did not grow from %v", s, cur.KmerGen, prev.KmerGen)
+			}
+			if cur.KmerGenComm >= prev.KmerGenComm {
+				t.Errorf("S=%d: KmerGen-Comm %v did not shrink from %v", s, cur.KmerGenComm, prev.KmerGenComm)
+			}
+			if cur.LocalCC >= prev.LocalCC {
+				t.Errorf("S=%d: LocalCC %v did not shrink from %v", s, cur.LocalCC, prev.LocalCC)
+			}
+			if cur.LocalSort != prev.LocalSort {
+				t.Errorf("S=%d: LocalSort changed: %v vs %v", s, cur.LocalSort, prev.LocalSort)
+			}
+			if mem >= prevMem {
+				t.Errorf("S=%d: memory %d did not shrink from %d", s, mem, prevMem)
+			}
+		}
+		prev, prevMem = cur, mem
+	}
+}
+
+func TestPredictTable3Absolute(t *testing.T) {
+	// The fitted constants should land near Table 3's measured values for
+	// MM on 4 nodes (tolerances 40% — the point is magnitude, not digits).
+	w := PaperWorkload("MM")
+	s1 := Predict(Edison(), w, Cluster{P: 4, T: 24, S: 1})
+	approx := func(name string, got time.Duration, want float64) {
+		g := got.Seconds()
+		if g < want*0.6 || g > want*1.4 {
+			t.Errorf("%s = %.2fs, Table 3 reports %.2fs", name, g, want)
+		}
+	}
+	approx("KmerGen(S=1)", s1.KmerGen, 10.95)
+	approx("KmerGenComm(S=1)", s1.KmerGenComm, 20.91)
+	approx("LocalSort(S=1)", s1.LocalSort, 12.48)
+	approx("LocalCC(S=1)", s1.LocalCC, 6.51)
+	s8 := Predict(Edison(), w, Cluster{P: 4, T: 24, S: 8})
+	approx("KmerGenComm(S=8)", s8.KmerGenComm, 8.56)
+	approx("LocalCC(S=8)", s8.LocalCC, 2.52)
+}
+
+func TestPredictThreadScaling(t *testing.T) {
+	// Single node: more threads must shrink compute steps and not change
+	// communication.
+	w := PaperWorkload("HG")
+	t1 := Predict(Edison(), w, Cluster{P: 1, T: 1, S: 1})
+	t24 := Predict(Edison(), w, Cluster{P: 1, T: 24, S: 1})
+	if t24.KmerGen >= t1.KmerGen || t24.LocalSort >= t1.LocalSort {
+		t.Error("threads did not speed up compute steps")
+	}
+	if t1.KmerGenComm != 0 || t24.KmerGenComm != 0 {
+		t.Error("single node has no exchange")
+	}
+	sp := t1.Total().Seconds() / t24.Total().Seconds()
+	if sp < 5 || sp > 24 {
+		t.Errorf("24-thread speedup = %.1f, want sublinear but substantial (Fig. 5: 14.5×)", sp)
+	}
+}
+
+func TestPredictGangaSlower(t *testing.T) {
+	// Fig. 5: an Edison node is ~5× faster than a Ganga node on HG, and
+	// Ganga's relative thread scaling is worse (shared-FS writes).
+	w := PaperWorkload("HG")
+	e := Predict(Edison(), w, Cluster{P: 1, T: 24, S: 1})
+	g := Predict(Ganga(), w, Cluster{P: 1, T: 24, S: 1})
+	ratio := g.Total().Seconds() / e.Total().Seconds()
+	if ratio < 2.5 {
+		t.Errorf("Ganga only %.1f× slower than Edison", ratio)
+	}
+	eSp := Predict(Edison(), w, Cluster{P: 1, T: 1, S: 1}).Total().Seconds() / e.Total().Seconds()
+	gSp := Predict(Ganga(), w, Cluster{P: 1, T: 1, S: 1}).Total().Seconds() / g.Total().Seconds()
+	if gSp >= eSp {
+		t.Errorf("Ganga relative speedup %.1f not worse than Edison %.1f", gSp, eSp)
+	}
+}
+
+func TestPredictMultiNodeSpeedupShape(t *testing.T) {
+	// Fig. 6: multi-node speedups are real but clearly sub-ideal because
+	// of the exchange and merge steps.
+	w := PaperWorkload("MM")
+	base := Predict(Edison(), w, Cluster{P: 1, T: 24, S: 4}).Total().Seconds()
+	prev := base
+	for _, p := range []int{2, 4, 8, 16} {
+		cur := Predict(Edison(), w, Cluster{P: p, T: 24, S: 4}).Total().Seconds()
+		if cur >= prev {
+			t.Errorf("P=%d did not improve on %d nodes", p, p/2)
+		}
+		prev = cur
+	}
+	sp16 := base / prev
+	if sp16 < 2 || sp16 >= 16 {
+		t.Errorf("16-node speedup = %.1f, want sub-ideal (paper: 7.5× for MM)", sp16)
+	}
+}
+
+func TestMemoryPerTaskIS(t *testing.T) {
+	// §3.7's worked example: IS with 8 passes, 16 tasks, 24 threads ≈
+	// 49 GB per task (6 GB index + 7 GB chunks + 2×14 GB tuples + 8 GB p).
+	w := PaperWorkload("IS")
+	mem := MemoryPerTask(w, Cluster{P: 16, T: 24, S: 8})
+	gb := float64(mem) / float64(1<<30)
+	if gb < 35 || gb > 65 {
+		t.Errorf("IS memory/task = %.1f GB, paper computes ≈49 GB", gb)
+	}
+}
+
+func TestCalibrateProducesSaneRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration takes ~1s")
+	}
+	cal := Calibrate(t.TempDir())
+	check := func(name string, v float64, lo, hi float64) {
+		if v < lo || v > hi {
+			t.Errorf("%s = %g, want within [%g, %g]", name, v, lo, hi)
+		}
+	}
+	check("scan", cal.ScanBasesPerSec, 1e6, 1e10)
+	check("emit", cal.EmitTuplesPerSec, 1e6, 1e10)
+	check("sort", cal.SortTuplesPerSec, 1e5, 1e9)
+	check("cc", cal.CCEdgesPerSec, 1e5, 1e9)
+	check("absorb", cal.AbsorbOpsPerSec, 1e5, 1e9)
+	check("readBW", cal.ReadBW, 1e7, 1e11)
+	check("writeBW", cal.WriteBW, 1e7, 1e11)
+	check("commBW", cal.CommBW, 1e7, 1e12)
+	if cal.CCOptBoost < 1 {
+		t.Errorf("CCOptBoost = %v", cal.CCOptBoost)
+	}
+}
+
+func TestPredictMonotoneInWorkload(t *testing.T) {
+	// A strictly larger workload must never predict a faster run.
+	small := PaperWorkload("HG")
+	big := PaperWorkload("MM")
+	for _, c := range []Cluster{{1, 1, 1}, {4, 24, 2}, {16, 24, 8}} {
+		ts := Predict(Edison(), small, c).Total()
+		tb := Predict(Edison(), big, c).Total()
+		if tb <= ts {
+			t.Errorf("cluster %+v: MM (%v) not slower than HG (%v)", c, tb, ts)
+		}
+	}
+}
+
+func TestPredictDegenerateDims(t *testing.T) {
+	// Zero/negative dimensions clamp to 1 rather than dividing by zero.
+	w := PaperWorkload("HG")
+	s := Predict(Edison(), w, Cluster{P: 0, T: 0, S: 0})
+	if s.Total() <= 0 {
+		t.Errorf("degenerate cluster predicted %v", s.Total())
+	}
+}

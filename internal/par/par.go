@@ -1,0 +1,64 @@
+// Package par provides the small static work-partitioning helpers the
+// pipeline uses for its "OpenMP threads within a task" parallelism. All
+// scheduling is static: METAPREP's index tables (§3.1) exist precisely so
+// that work can be split without dynamic scheduling or synchronization.
+package par
+
+import "sync"
+
+// Run starts workers goroutines, calling fn(w) for w in [0, workers), and
+// waits for all of them. With workers ≤ 1 it calls fn(0) inline.
+func Run(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Block returns the half-open range [lo, hi) of items worker w of `workers`
+// owns out of n items, distributing the remainder to the lowest-numbered
+// workers so block sizes differ by at most one.
+func Block(n, workers, w int) (lo, hi int) {
+	q, r := n/workers, n%workers
+	lo = w*q + min(w, r)
+	hi = lo + q
+	if w < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// For runs fn(i) for every i in [0, n), statically split across workers.
+func For(workers, n int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	Run(workers, func(w int) {
+		lo, hi := Block(n, workers, w)
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestBlockCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 17, 100} {
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			prev := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := Block(n, workers, w)
+				if lo != prev {
+					t.Fatalf("n=%d workers=%d w=%d: lo=%d want %d", n, workers, w, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d workers=%d w=%d: hi=%d < lo=%d", n, workers, w, hi, lo)
+				}
+				if hi-lo > n/workers+1 {
+					t.Fatalf("n=%d workers=%d w=%d: block too big (%d)", n, workers, w, hi-lo)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d workers=%d: blocks cover %d", n, workers, prev)
+			}
+		}
+	}
+}
+
+func TestForVisitsEachOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		n := 1000
+		seen := make([]int32, n)
+		For(workers, n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForMoreWorkersThanItems(t *testing.T) {
+	var n int32
+	For(16, 3, func(i int) { atomic.AddInt32(&n, 1) })
+	if n != 3 {
+		t.Fatalf("visited %d items, want 3", n)
+	}
+}
+
+func TestRunAllWorkers(t *testing.T) {
+	var mask int64
+	Run(8, func(w int) { atomic.OrInt64(&mask, 1<<w) })
+	if mask != 0xFF {
+		t.Fatalf("worker mask = %x, want ff", mask)
+	}
+}

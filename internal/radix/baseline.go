@@ -1,0 +1,71 @@
+package radix
+
+import "metaprep/internal/par"
+
+// BaselineSort is a stand-in for the NUMA-aware out-of-place stable LSB
+// radix sort of Polychroniou & Ross that §4.2.2 compares LocalSort against.
+// Like that implementation it requires both key and payload to be 64 bits
+// wide and sorts the whole array cooperatively: on each 8-bit pass every
+// worker histograms its own block, global bucket offsets are computed by a
+// (digit-major, worker-minor) prefix sum, and each worker scatters its
+// block — a classic parallel counting sort, stable because blocks are
+// scanned in input order.
+//
+// The sorted result always ends in keys/vals. Scratch slices must be
+// ≥ len(keys); workers ≤ 1 degenerates to a serial sort.
+func BaselineSort(keys, vals, tmpK, tmpV []uint64, workers int) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK[:n], tmpV[:n]
+	counts := make([][256]int, workers)
+	for p := 0; p < 8; p++ {
+		shift := uint(8 * p)
+		par.Run(workers, func(w int) {
+			lo, hi := par.Block(n, workers, w)
+			c := &counts[w]
+			for i := range c {
+				c[i] = 0
+			}
+			for _, k := range srcK[lo:hi] {
+				c[k>>shift&0xFF]++
+			}
+		})
+		// Digit-major, worker-minor exclusive prefix sum: bucket d of worker
+		// w starts after every bucket < d of all workers and bucket d of
+		// workers < w.
+		sum := 0
+		for d := 0; d < 256; d++ {
+			for w := 0; w < workers; w++ {
+				c := counts[w][d]
+				counts[w][d] = sum
+				sum += c
+			}
+		}
+		par.Run(workers, func(w int) {
+			lo, hi := par.Block(n, workers, w)
+			c := &counts[w]
+			for i := lo; i < hi; i++ {
+				k := srcK[i]
+				d := k >> shift & 0xFF
+				j := c[d]
+				c[d]++
+				dstK[j] = k
+				dstV[j] = srcV[i]
+			}
+		})
+		srcK, srcV, dstK, dstV = dstK, dstV, srcK, srcV
+	}
+	if &srcK[0] != &keys[0] {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}

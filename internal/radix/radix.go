@@ -1,0 +1,193 @@
+// Package radix implements the out-of-place LSD radix sorts used by the
+// METAPREP LocalSort step (§3.4) and the baseline it is compared against
+// (§4.2.2).
+//
+// The pipeline's tuples are stored structure-of-arrays: a key slice (the
+// packed canonical k-mer) and a parallel 32-bit payload slice (the global
+// read ID, or the component ID under the multi-pass optimization). The
+// paper's choice of 8-bit digits — 8 passes over a 64-bit key rather than 4
+// passes of 16 bits — is implemented here exactly, along with the 16-bit
+// variant so the locality claim can be re-measured (see the package
+// benchmarks).
+package radix
+
+// SortPairs64 sorts keys (and vals along with it) ascending using a stable
+// LSD radix sort with 8-bit digits. tmpK and tmpV are scratch buffers of at
+// least len(keys); passes selects how many low-order bytes of the key
+// participate (8 covers the full 64-bit key). The sorted data always ends in
+// keys/vals.
+//
+// len(vals), len(tmpK) and len(tmpV) must all be ≥ len(keys).
+func SortPairs64(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint32, passes int) {
+	n := len(keys)
+	if n < 2 || passes <= 0 {
+		return
+	}
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK[:n], tmpV[:n]
+	var count [256]int
+	for p := 0; p < passes; p++ {
+		shift := uint(8 * p)
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range srcK {
+			count[k>>shift&0xFF]++
+		}
+		// Skip passes where all keys share this byte.
+		if count[srcK[0]>>shift&0xFF] == n {
+			continue
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i, k := range srcK {
+			d := k >> shift & 0xFF
+			j := count[d]
+			count[d]++
+			dstK[j] = k
+			dstV[j] = srcV[i]
+		}
+		srcK, srcV, dstK, dstV = dstK, dstV, srcK, srcV
+	}
+	if &srcK[0] != &keys[0] {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}
+
+// SortPairs64Digit16 is SortPairs64 with 16-bit digits (65 536 buckets,
+// half as many passes). The paper reports this is slower than 8-bit digits
+// because the larger count array has worse temporal locality; it is kept as
+// an ablation target.
+func SortPairs64Digit16(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint32, passes int) {
+	n := len(keys)
+	if n < 2 || passes <= 0 {
+		return
+	}
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK[:n], tmpV[:n]
+	count := make([]int, 1<<16)
+	for p := 0; p < passes; p++ {
+		shift := uint(16 * p)
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range srcK {
+			count[k>>shift&0xFFFF]++
+		}
+		if count[srcK[0]>>shift&0xFFFF] == n {
+			continue
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i, k := range srcK {
+			d := k >> shift & 0xFFFF
+			j := count[d]
+			count[d]++
+			dstK[j] = k
+			dstV[j] = srcV[i]
+		}
+		srcK, srcV, dstK, dstV = dstK, dstV, srcK, srcV
+	}
+	if &srcK[0] != &keys[0] {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}
+
+// SortPairs128 sorts 128-bit keys held as parallel hi/lo slices (and vals
+// along with them) using a stable LSD radix sort with 8-bit digits: 8
+// passes over lo then 8 over hi, 16 passes total as in the paper's 63-mer
+// configuration (§4.4). Scratch slices must be ≥ len(lo).
+func SortPairs128(hi, lo []uint64, vals []uint32, tmpHi, tmpLo []uint64, tmpV []uint32) {
+	n := len(lo)
+	if n < 2 {
+		return
+	}
+	srcH, srcL, srcV := hi, lo, vals
+	dstH, dstL, dstV := tmpHi[:n], tmpLo[:n], tmpV[:n]
+	var count [256]int
+	for p := 0; p < 16; p++ {
+		shift := uint(8 * (p % 8))
+		word := srcL
+		if p >= 8 {
+			word = srcH
+		}
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range word {
+			count[k>>shift&0xFF]++
+		}
+		if count[word[0]>>shift&0xFF] == n {
+			continue
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i, k := range word {
+			d := k >> shift & 0xFF
+			j := count[d]
+			count[d]++
+			dstH[j] = srcH[i]
+			dstL[j] = srcL[i]
+			dstV[j] = srcV[i]
+		}
+		srcH, srcL, srcV, dstH, dstL, dstV = dstH, dstL, dstV, srcH, srcL, srcV
+	}
+	if &srcL[0] != &lo[0] {
+		copy(hi, srcH)
+		copy(lo, srcL)
+		copy(vals, srcV)
+	}
+}
+
+// SortKeys64 sorts keys ascending with the same 8-bit-digit LSD scheme as
+// SortPairs64, without a payload. tmp must be ≥ len(keys). The sorted data
+// always ends in keys.
+func SortKeys64(keys, tmp []uint64, passes int) {
+	n := len(keys)
+	if n < 2 || passes <= 0 {
+		return
+	}
+	src, dst := keys, tmp[:n]
+	var count [256]int
+	for p := 0; p < passes; p++ {
+		shift := uint(8 * p)
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range src {
+			count[k>>shift&0xFF]++
+		}
+		if count[src[0]>>shift&0xFF] == n {
+			continue
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for _, k := range src {
+			d := k >> shift & 0xFF
+			dst[count[d]] = k
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}

@@ -1,0 +1,123 @@
+package simulate
+
+import "fmt"
+
+// presets.go defines the scaled stand-ins for the paper's four evaluation
+// datasets (Table 2). Volumes are ~1000× below the originals so the whole
+// evaluation runs on one machine; the community structure is tuned so the
+// downstream observables match the paper's shape:
+//
+//   - HGsim (human gut): moderate diversity, skewed abundance, enough
+//     shared repeats that the unfiltered largest component is very large
+//     (paper: 95.5 % of reads at k=27).
+//   - LLsim (Lake Lanier): high diversity and low per-species coverage, so
+//     the unfiltered largest component is noticeably smaller (paper:
+//     76.3 %).
+//   - MMsim (mock community): few species at high coverage — the largest
+//     component swallows nearly everything (paper: 99.5 %).
+//   - ISsim (Iowa corn soil): the big one, used for the multi-node and
+//     multi-pass experiments (Fig. 7); very high diversity.
+//
+// Scale multiplies the read-pair count (1.0 = the standard scaled size).
+
+// Preset returns the named dataset spec ("HG", "LL", "MM", "IS", with or
+// without the "sim" suffix) at the given scale.
+func Preset(name string, scale float64) (CommunitySpec, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	var s CommunitySpec
+	switch canon(name) {
+	case "HG":
+		s = CommunitySpec{
+			Name:    "HGsim",
+			Species: 12, GenomeLen: 9_000, GenomeLenSigma: 0.3,
+			AbundanceSigma: 0.7,
+			SharedRepeats:  6, RepeatLen: 90, RepeatsPerGenome: 15,
+			HomologSegments: 12, HomologLen: 400, HomologSharers: 2,
+			RareSpecies: 60, RareGenomeLen: 4_000, RareFraction: 0.05,
+			Pairs: 11_500, ReadLen: 100,
+			Paired: true, InsertMin: 250, InsertMax: 400,
+			ErrorRate: 0.002, NRate: 0.0008,
+			Files: 1, Seed: 42,
+		}
+	case "LL":
+		s = CommunitySpec{
+			Name:    "LLsim",
+			Species: 24, GenomeLen: 9_000, GenomeLenSigma: 0.4,
+			AbundanceSigma: 0.65,
+			SharedRepeats:  8, RepeatLen: 90, RepeatsPerGenome: 10,
+			HomologSegments: 30, HomologLen: 400, HomologSharers: 2,
+			RareSpecies: 250, RareGenomeLen: 5_000, RareFraction: 0.24,
+			Pairs: 21_500, ReadLen: 100,
+			Paired: true, InsertMin: 250, InsertMax: 400,
+			ErrorRate: 0.002, NRate: 0.0008,
+			Files: 2, Seed: 43,
+		}
+	case "MM":
+		s = CommunitySpec{
+			Name:    "MMsim",
+			Species: 14, GenomeLen: 20_000, GenomeLenSigma: 0.25,
+			AbundanceSigma: 0.5,
+			SharedRepeats:  6, RepeatLen: 90, RepeatsPerGenome: 12,
+			HomologSegments: 8, HomologLen: 400, HomologSharers: 2,
+			RareSpecies: 10, RareGenomeLen: 4_000, RareFraction: 0.005,
+			Pairs: 55_000, ReadLen: 100,
+			Paired: true, InsertMin: 250, InsertMax: 400,
+			ErrorRate: 0.002, NRate: 0.0008,
+			Files: 2, Seed: 44,
+		}
+	case "IS":
+		s = CommunitySpec{
+			Name:    "ISsim",
+			Species: 100, GenomeLen: 12_000, GenomeLenSigma: 0.4,
+			AbundanceSigma: 0.9,
+			SharedRepeats:  20, RepeatLen: 90, RepeatsPerGenome: 10,
+			HomologSegments: 120, HomologLen: 400, HomologSharers: 3,
+			RareSpecies: 500, RareGenomeLen: 5_000, RareFraction: 0.15,
+			Pairs: 250_000, ReadLen: 100,
+			Paired: true, InsertMin: 250, InsertMax: 400,
+			ErrorRate: 0.002, NRate: 0.0008,
+			Files: 4, Seed: 45,
+		}
+	default:
+		return s, fmt.Errorf("simulate: unknown preset %q (want HG, LL, MM or IS)", name)
+	}
+	// Scaling reduces the read volume and the community size together so
+	// per-species coverage — the property that decides whether a species'
+	// reads form one component — is preserved at every scale.
+	s.Pairs = int(float64(s.Pairs) * scale)
+	if s.Pairs < 1 {
+		s.Pairs = 1
+	}
+	if scale < 1 {
+		s.Species = int(float64(s.Species) * scale)
+		if s.Species < 2 {
+			s.Species = 2
+		}
+		if s.SharedRepeats = int(float64(s.SharedRepeats) * scale); s.SharedRepeats < 2 {
+			s.SharedRepeats = 2
+		}
+		if s.RareSpecies = int(float64(s.RareSpecies) * scale); s.RareSpecies < 1 {
+			s.RareSpecies = 1
+		}
+	}
+	return s, nil
+}
+
+// PresetNames lists the available presets in Table 2's order.
+func PresetNames() []string { return []string{"HG", "LL", "MM", "IS"} }
+
+func canon(name string) string {
+	switch name {
+	case "HG", "hg", "HGsim", "hgsim":
+		return "HG"
+	case "LL", "ll", "LLsim", "llsim":
+		return "LL"
+	case "MM", "mm", "MMsim", "mmsim":
+		return "MM"
+	case "IS", "is", "ISsim", "issim":
+		return "IS"
+	}
+	return name
+}

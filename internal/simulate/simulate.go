@@ -1,0 +1,459 @@
+// Package simulate generates synthetic metagenomic communities and
+// sequencing reads, standing in for the paper's gated datasets (Table 2:
+// NCBI human gut, Lake Lanier, mock microbial community and the JGI Iowa
+// continuous-corn soil set, 2.3–223 Gbp).
+//
+// The generator controls exactly the dataset properties the evaluation
+// depends on:
+//
+//   - per-species sequencing coverage — reads of the same species overlap
+//     (share k-mers) only when coverage is high enough, which determines
+//     whether a species' reads form one read-graph component;
+//   - shared repeats — sequences inserted into many genomes glue the
+//     species components into the giant component the paper observes
+//     (§4.4: 76–99.5 % of reads in the largest component);
+//   - repeat copy number — repeat k-mers occur at high frequency, so the
+//     k-mer frequency filter (KF) cuts exactly those edges, splitting the
+//     giant component as in Table 7;
+//   - sequencing errors and N bases — exercising the low-frequency filter
+//     and the enumeration's N handling.
+//
+// Each read records its source species, giving experiments a ground truth
+// the real datasets lack.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"metaprep/internal/fastq"
+)
+
+// CommunitySpec describes a synthetic metagenome.
+type CommunitySpec struct {
+	// Name labels the dataset in reports (e.g. "HGsim").
+	Name string
+	// Species is the number of distinct genomes.
+	Species int
+	// GenomeLen is the mean genome length in bases.
+	GenomeLen int
+	// GenomeLenSigma is the lognormal σ of genome lengths (0 = uniform).
+	GenomeLenSigma float64
+	// AbundanceSigma is the lognormal σ of species abundances (0 = equal
+	// abundance). Larger values skew coverage across species, the
+	// metagenome-specific property the paper's intro highlights.
+	AbundanceSigma float64
+	// SharedRepeats is the number of distinct repeat sequences shared
+	// across genomes; RepeatLen is their length; RepeatsPerGenome is how
+	// many repeat insertions each genome receives. Repeat k-mers occur at
+	// high frequency (copies × coverage), so they are the glue a KF≤30
+	// filter removes.
+	SharedRepeats    int
+	RepeatLen        int
+	RepeatsPerGenome int
+	// HomologSegments models conserved homologous sequence: each segment
+	// of HomologLen bases is inserted once into HomologSharers randomly
+	// chosen genomes. Its k-mers occur at frequency ≈ sharers × coverage —
+	// the mid-frequency band that survives the paper's filters and keeps
+	// the largest component substantial even under 10 ≤ KF ≤ 30 (Table 7).
+	HomologSegments int
+	HomologLen      int
+	HomologSharers  int
+	// RareSpecies adds a "rare biosphere": RareFraction of the read pairs
+	// are drawn uniformly from RareSpecies extra genomes of RareGenomeLen
+	// bases each, carrying no shared repeats or homologs. Their coverage
+	// sits below the read-overlap percolation threshold, so their reads
+	// stay outside the giant component even unfiltered — the reason the
+	// paper's diverse Lake Lanier dataset has only 76.3 % of reads in the
+	// largest component while the mock community has 99.5 %.
+	RareSpecies   int
+	RareGenomeLen int
+	RareFraction  float64
+	// Strains models the paper's §2 challenge (i): "closely related
+	// strains from the same species might be present in the community".
+	// When > 1, each main species becomes Strains variant genomes derived
+	// from a common ancestor by substituting bases at StrainDivergence
+	// rate; reads of a species are drawn from a random strain but carry
+	// the species as their Origin (strains are not separable ground
+	// truth, exactly as in real communities).
+	Strains          int
+	StrainDivergence float64
+	// Pairs is the number of read pairs (2·Pairs records) when Paired,
+	// or the number of single reads otherwise.
+	Pairs int
+	// ReadLen is the per-read length.
+	ReadLen int
+	// Paired emits interleaved paired-end reads with the given insert size
+	// span [InsertMin, InsertMax] (outer distance between mate starts).
+	Paired    bool
+	InsertMin int
+	InsertMax int
+	// ErrorRate is the per-base substitution probability; NRate the
+	// per-base probability of an unreadable 'N'.
+	ErrorRate float64
+	NRate     float64
+	// Files splits the output across this many FASTQ files (≥ 1).
+	Files int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Validate checks spec invariants.
+func (s CommunitySpec) Validate() error {
+	if s.Species < 1 || s.GenomeLen < 1 || s.Pairs < 1 || s.ReadLen < 1 {
+		return fmt.Errorf("simulate: species/genome/pairs/readlen must be ≥ 1 (%+v)", s)
+	}
+	if s.ReadLen > s.GenomeLen/2 {
+		return fmt.Errorf("simulate: read length %d too large for genome length %d", s.ReadLen, s.GenomeLen)
+	}
+	if s.Paired && (s.InsertMin < s.ReadLen || s.InsertMax < s.InsertMin) {
+		return fmt.Errorf("simulate: bad insert range [%d,%d] for read length %d", s.InsertMin, s.InsertMax, s.ReadLen)
+	}
+	if s.Files < 1 {
+		return fmt.Errorf("simulate: files %d < 1", s.Files)
+	}
+	if s.ErrorRate < 0 || s.ErrorRate > 1 || s.NRate < 0 || s.NRate > 1 {
+		return fmt.Errorf("simulate: rates out of [0,1]")
+	}
+	if s.RareFraction < 0 || s.RareFraction >= 1 {
+		return fmt.Errorf("simulate: rare fraction %v out of [0,1)", s.RareFraction)
+	}
+	if s.RareFraction > 0 && (s.RareSpecies < 1 || s.RareGenomeLen < 2*s.ReadLen) {
+		return fmt.Errorf("simulate: rare species misconfigured (%d species of %d bases)",
+			s.RareSpecies, s.RareGenomeLen)
+	}
+	if s.Strains > 1 && (s.StrainDivergence <= 0 || s.StrainDivergence > 0.5) {
+		return fmt.Errorf("simulate: strain divergence %v out of (0, 0.5]", s.StrainDivergence)
+	}
+	if s.Paired && s.RareFraction > 0 && s.InsertMax > s.RareGenomeLen {
+		return fmt.Errorf("simulate: insert max %d exceeds rare genome length %d", s.InsertMax, s.RareGenomeLen)
+	}
+	return nil
+}
+
+// TotalBases returns the dataset's read volume in bases.
+func (s CommunitySpec) TotalBases() int64 {
+	reads := int64(s.Pairs)
+	if s.Paired {
+		reads *= 2
+	}
+	return reads * int64(s.ReadLen)
+}
+
+// Dataset is a generated community: its genomes, reads on disk, and ground
+// truth.
+type Dataset struct {
+	Spec CommunitySpec
+	// Files are the FASTQ paths written.
+	Files []string
+	// Genomes holds the species sequences (repeat insertions applied).
+	Genomes [][]byte
+	// Origin[i] is the source species of read pair i (or read i when
+	// unpaired) — ground truth for partition-purity analysis.
+	Origin []int32
+	// Records and Bases summarize the written output.
+	Records int64
+	Bases   int64
+}
+
+// Generate builds the community and writes its reads as FASTQ under dir.
+func Generate(spec CommunitySpec, dir string) (*Dataset, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	ds := &Dataset{Spec: spec}
+
+	// Shared repeat library.
+	repeats := make([][]byte, spec.SharedRepeats)
+	for i := range repeats {
+		repeats[i] = randSeq(rng, spec.RepeatLen)
+	}
+
+	// Genomes with repeat insertions (overwrite-in-place keeps lengths
+	// deterministic).
+	ds.Genomes = make([][]byte, spec.Species)
+	for g := range ds.Genomes {
+		length := spec.GenomeLen
+		if spec.GenomeLenSigma > 0 {
+			length = int(float64(spec.GenomeLen) * math.Exp(rng.NormFloat64()*spec.GenomeLenSigma))
+			if min := 2 * spec.ReadLen; length < min {
+				length = min
+			}
+		}
+		genome := randSeq(rng, length)
+		for r := 0; r < spec.RepeatsPerGenome && len(repeats) > 0; r++ {
+			rep := repeats[rng.Intn(len(repeats))]
+			if len(rep) >= len(genome) {
+				continue
+			}
+			pos := rng.Intn(len(genome) - len(rep))
+			copy(genome[pos:], rep)
+		}
+		ds.Genomes[g] = genome
+	}
+
+	// Homologous segments: one copy in each of HomologSharers genomes.
+	for h := 0; h < spec.HomologSegments; h++ {
+		seg := randSeq(rng, spec.HomologLen)
+		sharers := rng.Perm(spec.Species)
+		n := spec.HomologSharers
+		if n > len(sharers) {
+			n = len(sharers)
+		}
+		for _, g := range sharers[:n] {
+			genome := ds.Genomes[g]
+			if len(seg) >= len(genome) {
+				continue
+			}
+			pos := rng.Intn(len(genome) - len(seg))
+			copy(genome[pos:], seg)
+		}
+	}
+
+	// Strain variants (§2 challenge (i)): each main species may exist as
+	// several near-identical genomes; reads sample a random strain.
+	var strains [][][]byte
+	if spec.Strains > 1 {
+		strains = make([][][]byte, spec.Species)
+		for g := 0; g < spec.Species; g++ {
+			variants := make([][]byte, spec.Strains)
+			variants[0] = ds.Genomes[g]
+			for s := 1; s < spec.Strains; s++ {
+				v := append([]byte(nil), ds.Genomes[g]...)
+				for i := range v {
+					if rng.Float64() < spec.StrainDivergence {
+						v[i] = "ACGT"[(baseIndex(v[i])+1+rng.Intn(3))%4]
+					}
+				}
+				variants[s] = v
+			}
+			strains[g] = variants
+		}
+	}
+
+	// The rare biosphere: extra small genomes with no shared sequence.
+	for r := 0; r < spec.RareSpecies && spec.RareFraction > 0; r++ {
+		ds.Genomes = append(ds.Genomes, randSeq(rng, spec.RareGenomeLen))
+	}
+
+	// Abundance-weighted read allocation (largest-remainder rounding keeps
+	// the total exact). Rare species split their fixed share evenly.
+	rarePairs := int(spec.RareFraction * float64(spec.Pairs))
+	mainPairs := spec.Pairs - rarePairs
+	weights := make([]float64, len(ds.Genomes))
+	var wsum float64
+	for g := 0; g < spec.Species; g++ {
+		w := 1.0
+		if spec.AbundanceSigma > 0 {
+			w = math.Exp(rng.NormFloat64() * spec.AbundanceSigma)
+		}
+		weights[g] = w
+		wsum += w
+	}
+	pairsOf := apportion(weights[:spec.Species], wsum, mainPairs)
+	if rarePairs > 0 {
+		rareW := make([]float64, spec.RareSpecies)
+		for i := range rareW {
+			rareW[i] = 1
+		}
+		pairsOf = append(pairsOf, apportion(rareW, float64(spec.RareSpecies), rarePairs)...)
+	}
+
+	// Ground-truth origin per pair, shuffled so consecutive reads mix
+	// species like a real sequencing run.
+	ds.Origin = make([]int32, 0, spec.Pairs)
+	for g, n := range pairsOf {
+		for i := 0; i < n; i++ {
+			ds.Origin = append(ds.Origin, int32(g))
+		}
+	}
+	rng.Shuffle(len(ds.Origin), func(i, j int) {
+		ds.Origin[i], ds.Origin[j] = ds.Origin[j], ds.Origin[i]
+	})
+
+	// Write reads, splitting pairs across files without breaking pairs.
+	writers := make([]*fastq.Writer, spec.Files)
+	files := make([]*os.File, spec.Files)
+	for i := range writers {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%02d.fastq", nameOrReads(spec.Name), i))
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+		writers[i] = fastq.NewWriter(f)
+		ds.Files = append(ds.Files, path)
+	}
+	perFile := (spec.Pairs + spec.Files - 1) / spec.Files
+	var qualBuf []byte
+	for pair, g := range ds.Origin {
+		w := writers[min(pair/perFile, spec.Files-1)]
+		genome := ds.Genomes[g]
+		if strains != nil && int(g) < spec.Species {
+			// Both mates come from the same strain — they are one fragment.
+			genome = strains[g][rng.Intn(spec.Strains)]
+		}
+		if spec.Paired {
+			insert := spec.InsertMin
+			if spec.InsertMax > spec.InsertMin {
+				insert += rng.Intn(spec.InsertMax - spec.InsertMin + 1)
+			}
+			if insert > len(genome) {
+				insert = len(genome)
+			}
+			start := rng.Intn(len(genome) - insert + 1)
+			m1 := readFrom(rng, genome, start, spec)
+			m2 := readFrom(rng, genome, start+insert-spec.ReadLen, spec)
+			m2 = revCompInPlace(m2)
+			qualBuf = qual(qualBuf, spec.ReadLen)
+			if err := w.Write(fastq.Record{ID: pairID(pair, g, 1), Seq: m1, Qual: qualBuf}); err != nil {
+				return nil, err
+			}
+			if err := w.Write(fastq.Record{ID: pairID(pair, g, 2), Seq: m2, Qual: qualBuf}); err != nil {
+				return nil, err
+			}
+			ds.Records += 2
+			ds.Bases += int64(2 * spec.ReadLen)
+		} else {
+			start := rng.Intn(len(genome) - spec.ReadLen + 1)
+			seq := readFrom(rng, genome, start, spec)
+			if rng.Intn(2) == 1 {
+				seq = revCompInPlace(seq)
+			}
+			qualBuf = qual(qualBuf, spec.ReadLen)
+			if err := w.Write(fastq.Record{ID: pairID(pair, g, 0), Seq: seq, Qual: qualBuf}); err != nil {
+				return nil, err
+			}
+			ds.Records++
+			ds.Bases += int64(spec.ReadLen)
+		}
+	}
+	for i := range writers {
+		if err := writers[i].Flush(); err != nil {
+			return nil, err
+		}
+		if err := files[i].Close(); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// apportion distributes total items over weights with largest-remainder
+// rounding.
+func apportion(weights []float64, wsum float64, total int) []int {
+	n := len(weights)
+	counts := make([]int, n)
+	type frac struct {
+		g int
+		f float64
+	}
+	fracs := make([]frac, n)
+	assigned := 0
+	for g, w := range weights {
+		exact := w / wsum * float64(total)
+		counts[g] = int(exact)
+		assigned += counts[g]
+		fracs[g] = frac{g, exact - float64(counts[g])}
+	}
+	// Hand out the remainder to the largest fractional parts.
+	for assigned < total {
+		best := 0
+		for i := 1; i < n; i++ {
+			if fracs[i].f > fracs[best].f {
+				best = i
+			}
+		}
+		counts[fracs[best].g]++
+		fracs[best].f = -1
+		assigned++
+	}
+	return counts
+}
+
+// readFrom extracts a read at start with substitution errors and Ns.
+func readFrom(rng *rand.Rand, genome []byte, start int, spec CommunitySpec) []byte {
+	if start < 0 {
+		start = 0
+	}
+	if start+spec.ReadLen > len(genome) {
+		start = len(genome) - spec.ReadLen
+	}
+	seq := append([]byte(nil), genome[start:start+spec.ReadLen]...)
+	for i := range seq {
+		if spec.ErrorRate > 0 && rng.Float64() < spec.ErrorRate {
+			seq[i] = "ACGT"[(baseIndex(seq[i])+1+rng.Intn(3))%4]
+		}
+		if spec.NRate > 0 && rng.Float64() < spec.NRate {
+			seq[i] = 'N'
+		}
+	}
+	return seq
+}
+
+func baseIndex(b byte) int {
+	switch b {
+	case 'A':
+		return 0
+	case 'C':
+		return 1
+	case 'G':
+		return 2
+	default:
+		return 3
+	}
+}
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+func revCompInPlace(s []byte) []byte {
+	comp := [256]byte{'A': 'T', 'C': 'G', 'G': 'C', 'T': 'A', 'N': 'N'}
+	for i, j := 0, len(s)-1; i <= j; i, j = i+1, j-1 {
+		s[i], s[j] = comp[s[j]], comp[s[i]]
+	}
+	return s
+}
+
+func qual(buf []byte, n int) []byte {
+	if len(buf) != n {
+		buf = make([]byte, n)
+		for i := range buf {
+			buf[i] = 'I'
+		}
+	}
+	return buf
+}
+
+func pairID(pair int, species int32, mate int) []byte {
+	if mate == 0 {
+		return []byte(fmt.Sprintf("s%d_p%d", species, pair))
+	}
+	return []byte(fmt.Sprintf("s%d_p%d/%d", species, pair, mate))
+}
+
+func nameOrReads(name string) string {
+	if name == "" {
+		return "reads"
+	}
+	return name
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+// Package stats provides the small reporting utilities the experiment
+// harness uses: five-number summaries for the load-balance box plot
+// (Fig. 8), aligned text tables matching the paper's layout, and a STREAM
+// Triad probe for the memory-bandwidth figure quoted in the evaluation
+// setup (99 GB/s on an Edison node).
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FiveNum is the box-plot summary of a sample.
+type FiveNum struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summarize computes the five-number summary. Quartiles use linear
+// interpolation between order statistics (type-7, the common default).
+// It returns the zero value for an empty sample.
+func Summarize(sample []float64) FiveNum {
+	n := len(sample)
+	if n == 0 {
+		return FiveNum{}
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		if n == 1 {
+			return s[0]
+		}
+		h := p * float64(n-1)
+		i := int(h)
+		if i >= n-1 {
+			return s[n-1]
+		}
+		return s[i] + (h-float64(i))*(s[i+1]-s[i])
+	}
+	return FiveNum{Min: s[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75), Max: s[n-1]}
+}
+
+// Durations converts a duration sample to seconds for Summarize.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// Table accumulates rows and renders them with aligned columns, in the
+// plain-text style of the paper's tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.3fs", v.Seconds())
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(width)*2 - 2
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// StreamTriad measures sustained memory bandwidth with the STREAM Triad
+// kernel a[i] = b[i] + s·c[i] over three float64 arrays of n elements,
+// repeated reps times, and returns bytes/second (counting the kernel's
+// three arrays × 8 bytes per element per iteration, STREAM's convention).
+func StreamTriad(n, reps int) float64 {
+	if n < 1 || reps < 1 {
+		return 0
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i)
+		c[i] = float64(i) * 0.5
+	}
+	const s = 3.0
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		for i := range a {
+			a[i] = b[i] + s*c[i]
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	_ = a[n-1]
+	return float64(reps) * float64(n) * 24 / elapsed
+}
+
+// WriteCSV renders the table as RFC-4180 CSV, for machine consumption of
+// experiment results.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s != (FiveNum{}) {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Q1 != 7 || s.Median != 7 || s.Q3 != 7 || s.Max != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	s = Summarize([]float64{3, 1})
+	if s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Errorf("pair summary = %+v", s)
+	}
+}
+
+func TestSummarizeUnsortedInputPreserved(t *testing.T) {
+	in := []float64{5, 1, 3}
+	Summarize(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestSummarizeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(50)
+		sample := make([]float64, n)
+		for i := range sample {
+			sample[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(sample)
+		if !(s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max) {
+			t.Fatalf("summary not monotone: %+v", s)
+		}
+	}
+}
+
+func TestDurations(t *testing.T) {
+	out := Durations([]time.Duration{time.Second, 500 * time.Millisecond})
+	if out[0] != 1 || out[1] != 0.5 {
+		t.Errorf("Durations = %v", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Dataset", "Time", "Frac")
+	tb.AddRow("HG", 1500*time.Millisecond, 0.5)
+	tb.AddRow("LLLL", time.Second, 0.25)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Dataset") || !strings.Contains(lines[2], "1.500s") {
+		t.Errorf("table content wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "0.25") {
+		t.Errorf("float cell missing:\n%s", out)
+	}
+}
+
+func TestStreamTriad(t *testing.T) {
+	bw := StreamTriad(1<<16, 4)
+	if bw <= 0 {
+		t.Errorf("bandwidth = %v", bw)
+	}
+	// A modern machine moves at least 100 MB/s; anything less means the
+	// measurement is broken.
+	if bw < 100e6 {
+		t.Errorf("implausibly low bandwidth: %v B/s", bw)
+	}
+	if StreamTriad(0, 1) != 0 || StreamTriad(10, 0) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x,y", 1.5)
+	tb.AddRow("z", 2*time.Second)
+	var buf strings.Builder
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",1.50\nz,2.000s\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,115 @@
+// Package svcc implements a Shiloach–Vishkin connected-components baseline
+// over the read graph, standing in for the AP_LB partitioning tool of Flick
+// et al. that Table 4 compares METAPREP against.
+//
+// AP_LB's distributed algorithm is an iterative, sort-based (and therefore
+// bulk-synchronous) variant of Shiloach–Vishkin; the paper's comparison
+// point is that its iteration count grows with component diameter (O(log M)
+// rounds — 19–21 on the evaluation datasets) whereas METAPREP's union–find
+// merge needs only log P communication rounds. This package runs
+// bulk-synchronous hook-and-shortcut SV on the same edge set the pipeline's
+// LocalCC consumes: each iteration reads labels from the previous
+// iteration's snapshot, exactly like a sorting-based exchange would, so the
+// iteration count reflects the algorithm's true sequential depth.
+package svcc
+
+import (
+	"sync/atomic"
+
+	"metaprep/internal/par"
+	"metaprep/internal/unionfind"
+)
+
+// Result carries the SV labeling and its iteration count.
+type Result struct {
+	// Labels maps each vertex to its component label (the minimum vertex
+	// ID of the component once converged).
+	Labels []uint32
+	// Iterations is the number of hook+shortcut rounds until stabilization
+	// — the quantity Table 4 reports for AP_LB (19–21 on the paper's
+	// datasets). Each iteration corresponds to one communication round of
+	// the distributed algorithm.
+	Iterations int
+}
+
+// casMin atomically lowers *addr to val if val is smaller, reporting
+// whether it changed the value.
+func casMin(addr *uint32, val uint32) bool {
+	for {
+		cur := atomic.LoadUint32(addr)
+		if val >= cur {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(addr, cur, val) {
+			return true
+		}
+	}
+}
+
+// Run computes connected components of the n-vertex graph with the given
+// edges using bulk-synchronous Shiloach–Vishkin with workers parallel
+// threads.
+//
+// Per iteration: (1) conditional hook — for each edge whose endpoints had
+// different labels in the snapshot, the larger label's root vertex adopts
+// the smaller label; (2) shortcut — every vertex jumps one step,
+// d[v] ← prev[prev[v]]. Writes go through an atomic min so concurrent
+// workers combine rather than clobber. Iterations repeat until a full round
+// changes nothing.
+func Run(n int, edges []unionfind.Edge, workers int) Result {
+	if workers < 1 {
+		workers = 1
+	}
+	d := make([]uint32, n)
+	prev := make([]uint32, n)
+	for i := range d {
+		d[i] = uint32(i)
+	}
+	if n == 0 {
+		return Result{Labels: d}
+	}
+	changed := make([]bool, workers)
+	iters := 0
+	for {
+		iters++
+		copy(prev, d)
+		for w := range changed {
+			changed[w] = false
+		}
+		par.Run(workers, func(w int) {
+			lo, hi := par.Block(len(edges), workers, w)
+			for _, e := range edges[lo:hi] {
+				lu, lv := prev[e.U], prev[e.V]
+				if lu == lv {
+					continue
+				}
+				big, small := lu, lv
+				if big < small {
+					big, small = small, big
+				}
+				// Hook only at snapshot roots, like the sort-based variant:
+				// non-root labels catch up via later shortcut rounds.
+				if prev[big] == big && casMin(&d[big], small) {
+					changed[w] = true
+				}
+			}
+		})
+		par.Run(workers, func(w int) {
+			lo, hi := par.Block(n, workers, w)
+			for v := lo; v < hi; v++ {
+				if casMin(&d[v], prev[prev[v]]) {
+					changed[w] = true
+				}
+			}
+		})
+		any := false
+		for _, c := range changed {
+			if c {
+				any = true
+			}
+		}
+		if !any {
+			return Result{Labels: d, Iterations: iters}
+		}
+	}
+}

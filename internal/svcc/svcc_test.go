@@ -1,0 +1,107 @@
+package svcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"metaprep/internal/unionfind"
+)
+
+func randEdges(rng *rand.Rand, n, m int) []unionfind.Edge {
+	edges := make([]unionfind.Edge, m)
+	for i := range edges {
+		edges[i] = unionfind.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+	}
+	return edges
+}
+
+// ufLabels produces canonical (min-vertex) labels via union–find.
+func ufLabels(n int, edges []unionfind.Edge) []uint32 {
+	d := unionfind.New(n)
+	d.ProcessEdges(edges, 1)
+	labels := d.Flatten(1)
+	minOf := make(map[uint32]uint32)
+	for i, l := range labels {
+		if m, ok := minOf[l]; !ok || uint32(i) < m {
+			minOf[l] = uint32(i)
+		}
+	}
+	out := make([]uint32, n)
+	for i, l := range labels {
+		out[i] = minOf[l]
+	}
+	return out
+}
+
+func TestSVMatchesUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(500)
+		edges := randEdges(rng, n, rng.Intn(3*n))
+		want := ufLabels(n, edges)
+		for _, workers := range []int{1, 4} {
+			res := Run(n, edges, workers)
+			for v := range want {
+				if res.Labels[v] != want[v] {
+					t.Fatalf("trial %d workers %d vertex %d: SV %d, UF %d",
+						trial, workers, v, res.Labels[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestSVEmpty(t *testing.T) {
+	res := Run(0, nil, 2)
+	if len(res.Labels) != 0 {
+		t.Fatal("nonempty labels for empty graph")
+	}
+	res = Run(5, nil, 2)
+	for v, l := range res.Labels {
+		if l != uint32(v) {
+			t.Fatalf("vertex %d labeled %d with no edges", v, l)
+		}
+	}
+}
+
+func TestSVIterationsGrowWithDiameter(t *testing.T) {
+	// A long path needs more SV iterations than a star: the iteration count
+	// tracks component diameter, the property Table 4 exploits (AP_LB's
+	// 19-21 iterations vs METAPREP's log P rounds).
+	n := 1 << 12
+	path := make([]unionfind.Edge, n-1)
+	for i := range path {
+		path[i] = unionfind.Edge{U: uint32(i), V: uint32(i + 1)}
+	}
+	star := make([]unionfind.Edge, n-1)
+	for i := range star {
+		star[i] = unionfind.Edge{U: 0, V: uint32(i + 1)}
+	}
+	pathIters := Run(n, path, 1).Iterations
+	starIters := Run(n, star, 1).Iterations
+	if pathIters <= starIters {
+		t.Errorf("path iterations (%d) not greater than star iterations (%d)", pathIters, starIters)
+	}
+	if pathIters < 5 {
+		t.Errorf("path of %d vertices took only %d iterations", n, pathIters)
+	}
+}
+
+func TestSVSelfLoops(t *testing.T) {
+	res := Run(3, []unionfind.Edge{{U: 1, V: 1}}, 2)
+	for v, l := range res.Labels {
+		if l != uint32(v) {
+			t.Fatalf("self loop merged vertex %d", v)
+		}
+	}
+}
+
+func BenchmarkSV(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 16
+	edges := randEdges(rng, n, 2*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(n, edges, 1)
+	}
+}

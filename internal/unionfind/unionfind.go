@@ -1,0 +1,281 @@
+// Package unionfind implements the concurrent disjoint-set structure at the
+// heart of METAPREP's LocalCC and MergeCC steps (§3.5, Algorithm 1).
+//
+// The design follows the paper's combination of Cybenko et al. and Patwary
+// et al.:
+//
+//   - Find uses the path-splitting optimization of Tarjan & van Leeuwen:
+//     while walking to the root, each visited node's parent pointer is
+//     redirected to its grandparent.
+//   - Union uses union-by-index: the root with the lower index is pointed at
+//     the root with the higher index, which cannot introduce cycles even
+//     when edges are processed concurrently.
+//   - Threads proceed without locks. A Union is a single compare-and-swap on
+//     a root's parent pointer; a CAS that loses a race is not retried
+//     inline — instead the edge is buffered and re-verified on the next
+//     iteration of Algorithm 1, exactly the paper's "keep track of the edges
+//     resulting in a union operation on each thread and verify them after
+//     processing all edges".
+//
+// All parent-pointer accesses are atomic, so the structure is safe under the
+// Go race detector while keeping the paper's synchronization-free structure.
+package unionfind
+
+import (
+	"sync/atomic"
+
+	"metaprep/internal/par"
+)
+
+// DSU is a concurrent disjoint-set (union–find) structure over the vertex
+// set {0, …, n-1}. Vertices are reads in the pipeline's read graph.
+type DSU struct {
+	parent []uint32
+}
+
+// New returns a DSU with every vertex its own component root.
+func New(n int) *DSU {
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	return &DSU{parent: p}
+}
+
+// Len returns the number of vertices.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Find returns the root of x's component, applying path splitting along the
+// way. It is safe to call concurrently with other Find and Union calls.
+func (d *DSU) Find(x uint32) uint32 {
+	for {
+		p := atomic.LoadUint32(&d.parent[x])
+		if p == x {
+			return x
+		}
+		gp := atomic.LoadUint32(&d.parent[p])
+		if gp == p {
+			return p
+		}
+		// Path splitting: point x at its grandparent. A lost CAS just means
+		// another thread improved the path first.
+		atomic.CompareAndSwapUint32(&d.parent[x], p, gp)
+		x = gp
+	}
+}
+
+// Union links the components of roots ru and rv by index order (the lower
+// root is pointed at the higher). Both arguments must be roots returned by
+// Find. It reports whether the CAS succeeded; on false the caller should
+// buffer the originating edge and re-verify it in the next Algorithm 1
+// iteration.
+func (d *DSU) Union(ru, rv uint32) bool {
+	if ru == rv {
+		return true
+	}
+	if ru > rv {
+		ru, rv = rv, ru
+	}
+	return atomic.CompareAndSwapUint32(&d.parent[ru], ru, rv)
+}
+
+// Connect processes one edge (u, v) following Algorithm 1's loop body: find
+// both roots and, if they differ, attempt a Union. It reports whether the
+// edge must be re-verified (a union was attempted, successfully or not —
+// the paper buffers every union-producing edge for the next iteration).
+func (d *DSU) Connect(u, v uint32) bool {
+	ru, rv := d.Find(u), d.Find(v)
+	if ru == rv {
+		return false
+	}
+	d.Union(ru, rv)
+	return true
+}
+
+// Edge is an undirected read-graph edge.
+type Edge struct{ U, V uint32 }
+
+// ProcessEdges runs Algorithm 1 over the edge list with the given number of
+// worker threads: each worker processes a static block of edges, buffering
+// union-producing edges into a private list; buffered lists are re-processed
+// until a pass produces no unions. It returns the number of iterations,
+// which is dominated by the first (as observed in §3.5).
+func (d *DSU) ProcessEdges(edges []Edge, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	in := make([][]Edge, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := par.Block(len(edges), workers, w)
+		in[w] = edges[lo:hi]
+	}
+	out := make([][]Edge, workers)
+	iters := 0
+	for {
+		iters++
+		any := false
+		par.Run(workers, func(w int) {
+			buf := out[w][:0]
+			for _, e := range in[w] {
+				if d.Connect(e.U, e.V) {
+					buf = append(buf, e)
+				}
+			}
+			out[w] = buf
+		})
+		for w := range out {
+			if len(out[w]) > 0 {
+				any = true
+			}
+			in[w], out[w] = out[w], in[w][:0:0]
+		}
+		if !any {
+			return iters
+		}
+	}
+}
+
+// Absorb merges another parent array into d, the MergeCC receive step
+// (§3.6): element i of p is treated as an edge (i, p[i]) because those two
+// vertices were in one component on the sending task. Work is split across
+// workers; conflicting unions are retried via Algorithm 1 buffering.
+func (d *DSU) Absorb(p []uint32, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	retry := make([][]Edge, workers)
+	par.Run(workers, func(w int) {
+		lo, hi := par.Block(len(p), workers, w)
+		var buf []Edge
+		for i := lo; i < hi; i++ {
+			v := p[i]
+			if v != uint32(i) && d.Connect(uint32(i), v) {
+				buf = append(buf, Edge{uint32(i), v})
+			}
+		}
+		retry[w] = buf
+	})
+	for {
+		any := false
+		par.Run(workers, func(w int) {
+			buf := retry[w][:0]
+			for _, e := range retry[w] {
+				if d.Connect(e.U, e.V) {
+					buf = append(buf, e)
+				}
+			}
+			retry[w] = buf
+		})
+		for w := range retry {
+			if len(retry[w]) > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return
+		}
+	}
+}
+
+// Snapshot copies the parent array into dst (allocating if nil) for
+// transmission to another task in MergeCC. The copy is taken with atomic
+// loads so it is safe even if other goroutines are still quiescing.
+func (d *DSU) Snapshot(dst []uint32) []uint32 {
+	if cap(dst) < len(d.parent) {
+		dst = make([]uint32, len(d.parent))
+	}
+	dst = dst[:len(d.parent)]
+	for i := range d.parent {
+		dst[i] = atomic.LoadUint32(&d.parent[i])
+	}
+	return dst
+}
+
+// Flatten fully compresses every path so parent[i] is i's component root,
+// then returns the parent slice. Call only after all concurrent work is
+// done; the result is the component label array ("p" in the paper).
+func (d *DSU) Flatten(workers int) []uint32 {
+	par.For(workers, len(d.parent), func(i int) {
+		atomic.StoreUint32(&d.parent[i], d.Find(uint32(i)))
+	})
+	return d.parent
+}
+
+// ComponentSizes returns, for each root, the number of vertices in its
+// component. Call after concurrent work is done.
+func (d *DSU) ComponentSizes() map[uint32]int {
+	sizes := make(map[uint32]int)
+	for i := range d.parent {
+		sizes[d.Find(uint32(i))]++
+	}
+	return sizes
+}
+
+// LargestComponent returns the root and size of the largest component, with
+// ties broken toward the smaller root. It returns (0, 0) for an empty DSU.
+func (d *DSU) LargestComponent() (root uint32, size int) {
+	sizes := d.ComponentSizes()
+	for r, s := range sizes {
+		if s > size || (s == size && r < root) {
+			root, size = r, s
+		}
+	}
+	return root, size
+}
+
+// SnapshotSparse encodes the non-trivial parent entries as interleaved
+// (vertex, parent) pairs — the sparse MergeCC payload. When most reads are
+// singletons (highly diverse metagenomes), the pairs are much smaller than
+// the dense 4R-byte array; this is the direction of the component-
+// contraction methods the paper's future work points at.
+func (d *DSU) SnapshotSparse(dst []uint32) []uint32 {
+	dst = dst[:0]
+	for i := range d.parent {
+		p := atomic.LoadUint32(&d.parent[i])
+		if p != uint32(i) {
+			dst = append(dst, uint32(i), p)
+		}
+	}
+	return dst
+}
+
+// AbsorbPairs folds a sparse snapshot (interleaved vertex/parent pairs)
+// into d, splitting the work across workers with Algorithm 1 buffering.
+func (d *DSU) AbsorbPairs(pairs []uint32, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(pairs) / 2
+	retry := make([][]Edge, workers)
+	par.Run(workers, func(w int) {
+		lo, hi := par.Block(n, workers, w)
+		var buf []Edge
+		for i := lo; i < hi; i++ {
+			u, v := pairs[2*i], pairs[2*i+1]
+			if d.Connect(u, v) {
+				buf = append(buf, Edge{U: u, V: v})
+			}
+		}
+		retry[w] = buf
+	})
+	for {
+		any := false
+		par.Run(workers, func(w int) {
+			buf := retry[w][:0]
+			for _, e := range retry[w] {
+				if d.Connect(e.U, e.V) {
+					buf = append(buf, e)
+				}
+			}
+			retry[w] = buf
+		})
+		for w := range retry {
+			if len(retry[w]) > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveComponents computes component labels by repeated relabeling — slow
+// but obviously correct. Labels are the minimum vertex of each component.
+func naiveComponents(n int, edges []Edge) []uint32 {
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			lu, lv := label[e.U], label[e.V]
+			if lu < lv {
+				label[e.V] = lu
+				changed = true
+			} else if lv < lu {
+				label[e.U] = lv
+				changed = true
+			}
+		}
+		// Propagate: label[i] = label[label[i]].
+		for i := range label {
+			if label[label[i]] != label[i] {
+				label[i] = label[label[i]]
+				changed = true
+			}
+		}
+	}
+	return label
+}
+
+// canon maps arbitrary component labels to min-vertex labels for comparison.
+func canon(labels []uint32) []uint32 {
+	minOf := make(map[uint32]uint32)
+	for i, l := range labels {
+		if m, ok := minOf[l]; !ok || uint32(i) < m {
+			minOf[l] = uint32(i)
+		}
+	}
+	out := make([]uint32, len(labels))
+	for i, l := range labels {
+		out[i] = minOf[l]
+	}
+	return out
+}
+
+func sameParts(t *testing.T, n int, edges []Edge, got []uint32) {
+	t.Helper()
+	want := naiveComponents(n, edges)
+	g := canon(got)
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("vertex %d: component %d, want %d", i, g[i], want[i])
+		}
+	}
+}
+
+func randEdges(rng *rand.Rand, n, m int) []Edge {
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{uint32(rng.Intn(n)), uint32(rng.Intn(n))}
+	}
+	return edges
+}
+
+func TestDSUBasic(t *testing.T) {
+	d := New(5)
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for i := uint32(0); i < 5; i++ {
+		if d.Find(i) != i {
+			t.Fatalf("initial Find(%d) = %d", i, d.Find(i))
+		}
+	}
+	if !d.Connect(0, 1) {
+		t.Fatal("Connect(0,1) reported no union")
+	}
+	if d.Connect(0, 1) {
+		t.Fatal("repeated Connect(0,1) reported a union")
+	}
+	if d.Find(0) != d.Find(1) {
+		t.Fatal("0 and 1 not connected")
+	}
+	if d.Find(2) == d.Find(0) {
+		t.Fatal("2 wrongly connected")
+	}
+}
+
+func TestUnionByIndex(t *testing.T) {
+	// The lower root must point at the higher root.
+	d := New(4)
+	d.Connect(0, 3)
+	if d.parent[0] != 3 {
+		t.Errorf("parent[0] = %d, want 3 (union-by-index)", d.parent[0])
+	}
+	if d.Find(0) != 3 {
+		t.Errorf("root = %d, want 3", d.Find(0))
+	}
+}
+
+func TestProcessEdgesSerialMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		edges := randEdges(rng, n, rng.Intn(400))
+		d := New(n)
+		d.ProcessEdges(edges, 1)
+		sameParts(t, n, edges, d.Flatten(1))
+	}
+}
+
+func TestProcessEdgesParallelMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 100 + rng.Intn(2000)
+		edges := randEdges(rng, n, n*3)
+		d := New(n)
+		d.ProcessEdges(edges, 8)
+		sameParts(t, n, edges, d.Flatten(8))
+	}
+}
+
+func TestProcessEdgesChainWorstCase(t *testing.T) {
+	// A path graph, fed in reverse order, with many workers.
+	n := 5000
+	edges := make([]Edge, 0, n-1)
+	for i := n - 1; i > 0; i-- {
+		edges = append(edges, Edge{uint32(i - 1), uint32(i)})
+	}
+	d := New(n)
+	iters := d.ProcessEdges(edges, 16)
+	if iters < 1 {
+		t.Fatalf("iterations = %d", iters)
+	}
+	labels := d.Flatten(1)
+	for i := 1; i < n; i++ {
+		if labels[i] != labels[0] {
+			t.Fatalf("vertex %d not in the single component", i)
+		}
+	}
+}
+
+func TestProcessEdgesEmpty(t *testing.T) {
+	d := New(10)
+	if iters := d.ProcessEdges(nil, 4); iters != 1 {
+		t.Errorf("iterations on empty input = %d, want 1", iters)
+	}
+}
+
+func TestSelfLoops(t *testing.T) {
+	d := New(3)
+	d.ProcessEdges([]Edge{{1, 1}, {2, 2}}, 2)
+	for i := uint32(0); i < 3; i++ {
+		if d.Find(i) != i {
+			t.Fatalf("self loops merged vertex %d", i)
+		}
+	}
+}
+
+func TestAbsorbEquivalentToUnionOfEdgeSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(500)
+		e1 := randEdges(rng, n, n)
+		e2 := randEdges(rng, n, n)
+
+		// Reference: one DSU over both edge sets.
+		ref := New(n)
+		ref.ProcessEdges(append(append([]Edge(nil), e1...), e2...), 4)
+
+		// Distributed: two local DSUs, then task 0 absorbs task 1's array.
+		d0, d1 := New(n), New(n)
+		d0.ProcessEdges(e1, 4)
+		d1.ProcessEdges(e2, 4)
+		d0.Absorb(d1.Snapshot(nil), 4)
+
+		want := canon(ref.Flatten(1))
+		got := canon(d0.Flatten(1))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d vertex %d: got %d want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	d := New(4)
+	s := d.Snapshot(nil)
+	d.Connect(0, 1)
+	if s[0] != 0 {
+		t.Error("Snapshot aliased live parent array")
+	}
+	// Snapshot into a provided buffer reuses it.
+	buf := make([]uint32, 4)
+	s2 := d.Snapshot(buf)
+	if &s2[0] != &buf[0] {
+		t.Error("Snapshot did not reuse the provided buffer")
+	}
+}
+
+func TestFlattenProducesRoots(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 1000
+	d := New(n)
+	d.ProcessEdges(randEdges(rng, n, 2000), 4)
+	labels := d.Flatten(4)
+	for i, l := range labels {
+		if labels[l] != l {
+			t.Fatalf("label of %d is %d, which is not a root", i, l)
+		}
+	}
+}
+
+func TestComponentSizes(t *testing.T) {
+	d := New(6)
+	d.Connect(0, 1)
+	d.Connect(1, 2)
+	d.Connect(4, 5)
+	sizes := d.ComponentSizes()
+	var got []int
+	for _, s := range sizes {
+		got = append(got, s)
+	}
+	total := 0
+	for _, s := range got {
+		total += s
+	}
+	if len(sizes) != 3 || total != 6 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	root, size := d.LargestComponent()
+	if size != 3 || d.Find(0) != root {
+		t.Fatalf("largest = %d (size %d)", root, size)
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	d := New(0)
+	if r, s := d.LargestComponent(); r != 0 || s != 0 {
+		t.Fatalf("empty largest = %d,%d", r, s)
+	}
+}
+
+func TestComponentsProperty(t *testing.T) {
+	// Property: for every processed edge, both endpoints share a root; the
+	// number of distinct roots equals n minus the number of effective merges.
+	f := func(raw []uint16, nRaw uint8) bool {
+		n := int(nRaw)%300 + 2
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{uint32(raw[i]) % uint32(n), uint32(raw[i+1]) % uint32(n)})
+		}
+		d := New(n)
+		d.ProcessEdges(edges, 4)
+		for _, e := range edges {
+			if d.Find(e.U) != d.Find(e.V) {
+				return false
+			}
+		}
+		return len(d.ComponentSizes()) == len(canonSet(naiveComponents(n, edges)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func canonSet(labels []uint32) map[uint32]bool {
+	s := make(map[uint32]bool)
+	for _, l := range labels {
+		s[l] = true
+	}
+	return s
+}
+
+func BenchmarkConnectRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 20
+	edges := randEdges(rng, n, b.N)
+	d := New(n)
+	b.ResetTimer()
+	for _, e := range edges {
+		d.Connect(e.U, e.V)
+	}
+}
+
+func BenchmarkProcessEdges1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 20
+	edges := randEdges(rng, n, n)
+	b.SetBytes(int64(len(edges) * 8))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := New(n)
+		b.StartTimer()
+		d.ProcessEdges(edges, 4)
+	}
+}
+
+func TestSparseSnapshotAbsorb(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(400)
+		e1 := randEdges(rng, n, n/2)
+		e2 := randEdges(rng, n, n/2)
+
+		ref := New(n)
+		ref.ProcessEdges(append(append([]Edge(nil), e1...), e2...), 4)
+
+		d0, d1 := New(n), New(n)
+		d0.ProcessEdges(e1, 4)
+		d1.ProcessEdges(e2, 4)
+		pairs := d1.SnapshotSparse(nil)
+		// Sparse payload must be smaller than dense for sparse graphs.
+		if len(pairs) > 2*n {
+			t.Fatalf("sparse snapshot has %d entries for %d vertices", len(pairs), n)
+		}
+		d0.AbsorbPairs(pairs, 4)
+
+		want := canon(ref.Flatten(1))
+		got := canon(d0.Flatten(1))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("vertex %d: got %d want %d", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSparseSnapshotEmpty(t *testing.T) {
+	d := New(10)
+	if pairs := d.SnapshotSparse(nil); len(pairs) != 0 {
+		t.Fatalf("fresh DSU sparse snapshot = %v", pairs)
+	}
+	d.AbsorbPairs(nil, 2) // must not panic
+}

@@ -1,0 +1,132 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+
+	"metaprep/internal/par"
+)
+
+func TestSizeDSUMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		edges := randEdges(rng, n, rng.Intn(2*n))
+		d := NewSize(n)
+		for _, e := range edges {
+			d.Union(e.U, e.V)
+		}
+		sameParts(t, n, edges, d.Labels())
+	}
+}
+
+func TestSizeDSUUnionReturn(t *testing.T) {
+	d := NewSize(3)
+	if !d.Union(0, 1) {
+		t.Error("first union reported no merge")
+	}
+	if d.Union(0, 1) {
+		t.Error("repeated union reported a merge")
+	}
+}
+
+func TestLockedDSUMatchesNaiveSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		edges := randEdges(rng, n, rng.Intn(2*n))
+		d := NewLocked(n)
+		for _, e := range edges {
+			d.Connect(e.U, e.V)
+		}
+		sameParts(t, n, edges, d.Labels())
+	}
+}
+
+func TestLockedDSUConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 2000
+	edges := randEdges(rng, n, 4*n)
+	d := NewLocked(n)
+	par.Run(8, func(w int) {
+		lo, hi := par.Block(len(edges), 8, w)
+		for _, e := range edges[lo:hi] {
+			d.Connect(e.U, e.V)
+		}
+	})
+	sameParts(t, n, edges, d.Labels())
+}
+
+func TestAllVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 1500
+	edges := randEdges(rng, n, 3*n)
+
+	free := New(n)
+	free.ProcessEdges(edges, 4)
+	a := canon(free.Flatten(1))
+
+	size := NewSize(n)
+	for _, e := range edges {
+		size.Union(e.U, e.V)
+	}
+	b := canon(size.Labels())
+
+	locked := NewLocked(n)
+	for _, e := range edges {
+		locked.Connect(e.U, e.V)
+	}
+	c := canon(locked.Labels())
+
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("vertex %d: lock-free %d, by-size %d, locked %d", i, a[i], b[i], c[i])
+		}
+	}
+}
+
+// The variant benchmarks quantify DESIGN.md's ablation #3: the lock-free
+// union-by-index design versus Cybenko's critical-section approach under
+// contention, and versus the serial union-by-size reference.
+
+func benchEdgesFor(n int) []Edge {
+	rng := rand.New(rand.NewSource(1))
+	return randEdges(rng, n, n)
+}
+
+func BenchmarkVariantLockFree4Workers(b *testing.B) {
+	n := 1 << 18
+	edges := benchEdgesFor(n)
+	b.SetBytes(int64(len(edges) * 8))
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		d.ProcessEdges(edges, 4)
+	}
+}
+
+func BenchmarkVariantLocked4Workers(b *testing.B) {
+	n := 1 << 18
+	edges := benchEdgesFor(n)
+	b.SetBytes(int64(len(edges) * 8))
+	for i := 0; i < b.N; i++ {
+		d := NewLocked(n)
+		par.Run(4, func(w int) {
+			lo, hi := par.Block(len(edges), 4, w)
+			for _, e := range edges[lo:hi] {
+				d.Connect(e.U, e.V)
+			}
+		})
+	}
+}
+
+func BenchmarkVariantSizeSerial(b *testing.B) {
+	n := 1 << 18
+	edges := benchEdgesFor(n)
+	b.SetBytes(int64(len(edges) * 8))
+	for i := 0; i < b.N; i++ {
+		d := NewSize(n)
+		for _, e := range edges {
+			d.Union(e.U, e.V)
+		}
+	}
+}

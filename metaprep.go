@@ -1,0 +1,289 @@
+// Package metaprep is a Go reproduction of METAPREP (Rengasamy, Medvedev,
+// Madduri — "Parallel and Memory-efficient Preprocessing for Metagenome
+// Assembly", IPDPS Workshops 2017): a parallel, memory-bounded tool that
+// partitions a metagenomic read set into connected components of its read
+// graph so each component can be assembled independently.
+//
+// The package is a facade over the implementation packages:
+//
+//   - BuildIndex / LoadIndex run IndexCreate (§3.1), producing the merHist
+//     and FASTQPart tables that make every later step statically
+//     schedulable.
+//   - Partition runs the five-step pipeline (§3.2–§3.6): KmerGen,
+//     KmerGen-Comm, LocalSort, LocalCC and MergeCC, over P simulated MPI
+//     tasks with T threads each in S input passes, optionally filtering
+//     read-graph edges by k-mer frequency and writing the partitioned
+//     FASTQ output.
+//   - Generate creates synthetic metagenome datasets (stand-ins for the
+//     paper's NCBI/JGI data), with presets scaled from Table 2.
+//   - Assemble runs the de Bruijn unitig assembler used as the MEGAHIT
+//     stand-in for the Tables 8–9 experiments.
+//   - CountKmers runs the KMC 2-style baseline counter of Figure 9.
+//   - Predict evaluates the §3.7 cost model for cluster configurations
+//     that do not exist on the local machine.
+//
+// A minimal end-to-end use:
+//
+//	idx, err := metaprep.BuildIndex(files, metaprep.DefaultIndexOptions())
+//	cfg := metaprep.DefaultConfig(idx)
+//	cfg.Threads = 8
+//	cfg.OutDir = "parts/"
+//	res, err := metaprep.Partition(cfg)
+//	// res.Labels, res.LargestSize, res.Steps, res.LCFiles ...
+package metaprep
+
+import (
+	"io"
+
+	"metaprep/internal/assembly"
+	"metaprep/internal/core"
+	"metaprep/internal/diginorm"
+	"metaprep/internal/fastq"
+	"metaprep/internal/index"
+	"metaprep/internal/kmc"
+	"metaprep/internal/model"
+	"metaprep/internal/mpirt"
+	"metaprep/internal/simulate"
+)
+
+// Index creation (§3.1).
+type (
+	// IndexOptions configures IndexCreate: k, the m-mer histogram width,
+	// the chunk size and paired-end mode.
+	IndexOptions = index.Options
+	// Index is the merHist + FASTQPart table pair.
+	Index = index.Index
+)
+
+// DefaultIndexOptions returns k=27, m=8, 4 MiB chunks, unpaired.
+func DefaultIndexOptions() IndexOptions { return index.Defaults() }
+
+// BuildIndex runs the sequential IndexCreate step (the Table 5 variant).
+func BuildIndex(files []string, opts IndexOptions) (*Index, error) {
+	return index.Build(files, opts)
+}
+
+// BuildIndexParallel parallelizes the histogram phase over chunks.
+func BuildIndexParallel(files []string, opts IndexOptions, workers int) (*Index, error) {
+	return index.BuildParallel(files, opts, workers)
+}
+
+// LoadIndex reads an index saved with Index.Save.
+func LoadIndex(path string) (*Index, error) { return index.Load(path) }
+
+// Pipeline (§3.2–§3.6).
+type (
+	// Config parameterizes a pipeline run: tasks, threads, passes, the
+	// k-mer frequency filter, the network model and output directory.
+	Config = core.Config
+	// Filter is the §4.4 k-mer frequency edge filter.
+	Filter = core.Filter
+	// Result carries component labels, sizes, per-step times and output
+	// file lists.
+	Result = core.Result
+	// StepTimes breaks a run down by pipeline step.
+	StepTimes = core.StepTimes
+	// TaskReport is one task's timing/memory accounting.
+	TaskReport = core.TaskReport
+	// NetworkModel charges simulated transfer time to communication steps.
+	NetworkModel = mpirt.NetworkModel
+)
+
+// DefaultConfig returns a single-task, single-pass configuration.
+func DefaultConfig(idx *Index) Config { return core.Default(idx) }
+
+// Partition runs the METAPREP pipeline.
+func Partition(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// PipelineCountResult is the distributed counter's sorted output.
+type PipelineCountResult = core.CountResult
+
+// CountKmersDistributed runs the pipeline's first three steps (KmerGen,
+// KmerGen-Comm, LocalSort) as a distributed k-mer counter — the subroutine
+// reuse the paper's abstract claims. Compare with CountKmers, the KMC
+// 2-style shared-memory baseline.
+func CountKmersDistributed(cfg Config) (*PipelineCountResult, error) {
+	return core.RunCount(cfg)
+}
+
+// MergeOutput concatenates a result's per-thread output files into one
+// largest-component FASTQ and one remainder FASTQ.
+func MergeOutput(res *Result, lcPath, otherPath string) error {
+	return core.MergeLC(res, lcPath, otherPath)
+}
+
+// SaveLabels persists a component label array (read ID → component root)
+// so downstream tools can reuse a partitioning without the FASTQ rewrite.
+func SaveLabels(path string, labels []uint32) error { return core.SaveLabels(path, labels) }
+
+// LoadLabels reads a label array written by SaveLabels.
+func LoadLabels(path string) ([]uint32, error) { return core.LoadLabels(path) }
+
+// EdisonNetwork models the interconnect of the paper's evaluation machine.
+func EdisonNetwork() *NetworkModel { return mpirt.EdisonNetwork() }
+
+// Synthetic data (the Table 2 stand-ins).
+type (
+	// CommunitySpec describes a synthetic metagenome.
+	CommunitySpec = simulate.CommunitySpec
+	// Dataset is a generated community with its ground truth.
+	Dataset = simulate.Dataset
+)
+
+// Generate writes a synthetic dataset under dir.
+func Generate(spec CommunitySpec, dir string) (*Dataset, error) {
+	return simulate.Generate(spec, dir)
+}
+
+// Preset returns a named dataset spec ("HG", "LL", "MM", "IS") at the given
+// scale (1.0 = the standard ~1000×-scaled size).
+func Preset(name string, scale float64) (CommunitySpec, error) {
+	return simulate.Preset(name, scale)
+}
+
+// PresetNames lists the presets in Table 2's order.
+func PresetNames() []string { return simulate.PresetNames() }
+
+// Assembly (the MEGAHIT stand-in of Tables 8–9).
+type (
+	// AssemblyOptions configures the unitig assembler.
+	AssemblyOptions = assembly.Options
+	// AssemblyStats reports contig count, total/max length and N50.
+	AssemblyStats = assembly.Stats
+)
+
+// DefaultAssemblyOptions returns MEGAHIT-style multi-k assembly
+// (k = 21, 29, 39, 59) with MinCount=2.
+func DefaultAssemblyOptions() AssemblyOptions { return assembly.Defaults() }
+
+// Assemble builds contigs from read sequences.
+func Assemble(seqs [][]byte, opts AssemblyOptions) ([][]byte, AssemblyStats, error) {
+	return assembly.Assemble(seqs, opts)
+}
+
+// AssembleFiles assembles the reads of FASTQ files.
+func AssembleFiles(paths []string, opts AssemblyOptions) ([][]byte, AssemblyStats, error) {
+	return assembly.AssembleFiles(paths, opts)
+}
+
+// K-mer counting baseline (Figure 9).
+type (
+	// CounterOptions configures the KMC 2-style counter.
+	CounterOptions = kmc.Options
+	// KmerCounts is the sorted (k-mer, count) output.
+	KmerCounts = kmc.Counts
+	// CounterStats reports the two stage times and compaction figures.
+	CounterStats = kmc.Stats
+)
+
+// DefaultCounterOptions mirrors KMC 2's defaults at k=27.
+func DefaultCounterOptions() CounterOptions { return kmc.Defaults() }
+
+// CountKmers counts canonical k-mers across FASTQ files.
+func CountKmers(paths []string, opts CounterOptions) (*KmerCounts, *CounterStats, error) {
+	return kmc.CountFiles(paths, opts)
+}
+
+// Performance model (§3.7).
+type (
+	// Workload describes a dataset to the cost model.
+	Workload = model.Workload
+	// ClusterSpec is a (tasks, threads, passes) configuration.
+	ClusterSpec = model.Cluster
+	// Calibration holds machine constants for the model.
+	Calibration = model.Calibration
+	// PredictedSteps is the model's per-step prediction.
+	PredictedSteps = model.Steps
+)
+
+// Predict evaluates the §3.7 cost model.
+func Predict(cal Calibration, w Workload, c ClusterSpec) PredictedSteps {
+	return model.Predict(cal, w, c)
+}
+
+// PredictMemory evaluates the §3.7 per-task memory inventory.
+func PredictMemory(w Workload, c ClusterSpec) int64 { return model.MemoryPerTask(w, c) }
+
+// EdisonCalibration returns constants fitted to the paper's measurements.
+func EdisonCalibration() Calibration { return model.Edison() }
+
+// GangaCalibration models the Penn State Ganga node of §4.1.1.
+func GangaCalibration() Calibration { return model.Ganga() }
+
+// HostCalibration measures this machine's kernel throughputs.
+func HostCalibration(scratchDir string) Calibration { return model.Calibrate(scratchDir) }
+
+// WorkloadFromIndex derives a model workload from a built index.
+func WorkloadFromIndex(idx *Index) Workload { return model.FromIndex(idx) }
+
+// PaperWorkload returns the paper-scale Table 2 datasets for predictions.
+func PaperWorkload(name string) Workload { return model.PaperWorkload(name) }
+
+// Digital normalization (the paper's §2 companion preprocessing strategy).
+type (
+	// NormalizeOptions configures digital normalization.
+	NormalizeOptions = diginorm.Options
+	// NormalizeStats reports kept/dropped reads.
+	NormalizeStats = diginorm.Stats
+)
+
+// DefaultNormalizeOptions returns khmer-like settings (k=20, C=20).
+func DefaultNormalizeOptions() NormalizeOptions { return diginorm.Defaults() }
+
+// Normalize streams FASTQ files through digital normalization into
+// outPath, keeping pairs together when paired is set.
+func Normalize(paths []string, outPath string, paired bool, opts NormalizeOptions) (NormalizeStats, error) {
+	return diginorm.NormalizeFiles(paths, outPath, paired, opts)
+}
+
+// Interleave merges two mate files into the interleaved paired form the
+// pipeline consumes, returning the pair count.
+func Interleave(mate1, mate2 io.Reader, w io.Writer) (int64, error) {
+	return fastq.Interleave(mate1, mate2, w)
+}
+
+// PartitionPurity measures a partitioning against the generator's ground
+// truth: purity is the read-weighted fraction of each component that
+// belongs to its majority species (1.0 = every component is pure), and
+// fragmentation is the mean number of components a species' reads are
+// spread over (1.0 = every species kept whole). labels come from
+// Result.Labels; origins from Dataset.Origin.
+func PartitionPurity(labels []uint32, origins []int32) (purity float64, fragmentation float64) {
+	if len(labels) == 0 || len(labels) != len(origins) {
+		return 0, 0
+	}
+	type key struct {
+		comp uint32
+		sp   int32
+	}
+	cross := map[key]int{}
+	compTotal := map[uint32]int{}
+	speciesComps := map[int32]map[uint32]struct{}{}
+	for i, l := range labels {
+		sp := origins[i]
+		cross[key{l, sp}]++
+		compTotal[l]++
+		set, ok := speciesComps[sp]
+		if !ok {
+			set = map[uint32]struct{}{}
+			speciesComps[sp] = set
+		}
+		set[l] = struct{}{}
+	}
+	majority := map[uint32]int{}
+	for k, c := range cross {
+		if c > majority[k.comp] {
+			majority[k.comp] = c
+		}
+	}
+	pure := 0
+	for _, c := range majority {
+		pure += c
+	}
+	purity = float64(pure) / float64(len(labels))
+	for _, comps := range speciesComps {
+		fragmentation += float64(len(comps))
+	}
+	fragmentation /= float64(len(speciesComps))
+	return purity, fragmentation
+}
