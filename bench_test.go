@@ -211,7 +211,10 @@ func BenchmarkFigure9KmerGenVsKMC(b *testing.B) {
 	}
 }
 
-// BenchmarkSortThroughputLocal and ...Baseline cover §4.2.2.
+// BenchmarkSortThroughputLocal and ...Baseline cover §4.2.2. The
+// sub-benchmarks compare the paper's 8-bit digits against 16-bit digits and
+// the key-range-aware entry point that picks a width and pass count itself
+// (for 54-bit keys it skips the empty top pass).
 func BenchmarkSortThroughputLocal(b *testing.B) {
 	n := 1 << 21
 	rng := rand.New(rand.NewSource(1))
@@ -225,13 +228,26 @@ func BenchmarkSortThroughputLocal(b *testing.B) {
 	workV := make([]uint32, n)
 	tmpK := make([]uint64, n)
 	tmpV := make([]uint32, n)
-	b.SetBytes(int64(n * 12))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		copy(work, keys)
-		copy(workV, vals)
-		radix.SortPairs64(work, workV, tmpK, tmpV, 8)
+	run := func(b *testing.B, sortFn func([]uint64, []uint32)) {
+		b.SetBytes(int64(n * 12))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(work, keys)
+			copy(workV, vals)
+			sortFn(work, workV)
+		}
 	}
+	b.Run("Digit8", func(b *testing.B) {
+		run(b, func(k []uint64, v []uint32) { radix.SortPairs64(k, v, tmpK, tmpV, 8) })
+	})
+	b.Run("Digit16", func(b *testing.B) {
+		run(b, func(k []uint64, v []uint32) { radix.SortPairs64Digit16(k, v, tmpK, tmpV, 4) })
+	})
+	b.Run("Range54", func(b *testing.B) {
+		run(b, func(k []uint64, v []uint32) {
+			radix.SortPairs64Range(k, v, tmpK, tmpV, 0, 1<<54-1)
+		})
+	})
 }
 
 func BenchmarkSortThroughputBaseline(b *testing.B) {

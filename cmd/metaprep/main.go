@@ -98,6 +98,8 @@ func cmdRun(args []string) error {
 	mergeOut := fs.Bool("merge-output", false, "also concatenate per-thread outputs into lc.fastq/other.fastq")
 	split := fs.Int("split", 0, "write the N largest components to separate file sets (0 = largest vs rest)")
 	sparseMerge := fs.Bool("sparse-merge", false, "use sparse MergeCC payloads (good for diverse, singleton-heavy data)")
+	prefetch := fs.Int("prefetch", 0, "per-thread chunk read-ahead depth (0 = default of 1)")
+	noPrefetch := fs.Bool("no-prefetch", false, "disable overlapped chunk I/O (ablation)")
 	labelsPath := fs.String("labels", "", "also save the component label array here")
 	fs.Parse(args)
 	if *idxPath == "" {
@@ -118,6 +120,8 @@ func cmdRun(args []string) error {
 	cfg.OutDir = *outdir
 	cfg.SplitComponents = *split
 	cfg.SparseMerge = *sparseMerge
+	cfg.PrefetchChunks = *prefetch
+	cfg.NoPrefetch = *noPrefetch
 	if *edisonNet {
 		cfg.Network = metaprep.EdisonNetwork()
 	}

@@ -87,6 +87,20 @@ type Config struct {
 	// component-splitting strategies" of the paper's future work. 0 keeps
 	// the paper's behavior.
 	SplitComponents int
+	// PrefetchChunks is the per-thread read-ahead depth of KmerGen's chunk
+	// prefetcher: while a thread enumerates tuples from one chunk, an
+	// asynchronous reader fills up to PrefetchChunks further chunk buffers,
+	// overlapping input I/O with k-mer enumeration. 0 means the default
+	// depth of 1 (classic double buffering). Each thread holds
+	// 1+PrefetchChunks chunk buffers, which the §3.7 memory accounting
+	// charges accordingly.
+	PrefetchChunks int
+	// NoPrefetch disables the overlapped chunk I/O entirely (the ablation
+	// for the prefetcher): chunks are read serially on the enumerating
+	// thread, with the full read time charged to KmerGen-I/O, and each
+	// thread holds a single chunk buffer. Results are bit-identical either
+	// way.
+	NoPrefetch bool
 	// DynamicOffsets disables the precomputed-offset KmerGen buffers and
 	// uses an atomic shared cursor instead. This is the ablation for the
 	// paper's claim that the index tables remove synchronization overhead;
@@ -122,14 +136,30 @@ func (c Config) Validate() error {
 	if c.SplitComponents < 0 {
 		return fmt.Errorf("core: SplitComponents %d < 0", c.SplitComponents)
 	}
+	if c.PrefetchChunks < 0 {
+		return fmt.Errorf("core: PrefetchChunks %d < 0", c.PrefetchChunks)
+	}
 	return nil
+}
+
+// prefetchDepth returns the effective chunk read-ahead depth: 0 when the
+// prefetcher is ablated away, otherwise PrefetchChunks with 0 defaulting
+// to 1 (double buffering).
+func (c Config) prefetchDepth() int {
+	if c.NoPrefetch {
+		return 0
+	}
+	if c.PrefetchChunks > 0 {
+		return c.PrefetchChunks
+	}
+	return 1
 }
 
 // StepTimes holds per-step wall times using the paper's step names
 // (Fig. 5–7). Communication steps include modeled network transfer time
 // when a NetworkModel is configured.
 type StepTimes struct {
-	KmerGenIO   time.Duration // reading FASTQ chunks
+	KmerGenIO   time.Duration // reading FASTQ chunks (with prefetch: only non-overlapped wait time)
 	KmerGen     time.Duration // enumerating tuples
 	KmerGenComm time.Duration // all-to-all tuple exchange
 	LocalSort   time.Duration // partition + per-thread radix sort

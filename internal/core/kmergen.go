@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"os"
 	"sync/atomic"
@@ -18,6 +17,16 @@ import (
 // current pass directly into its precomputed sub-regions of the task's
 // kmerOut buffer — no locks, no atomics (unless the DynamicOffsets ablation
 // is enabled).
+//
+// Chunk input is overlapped with enumeration: each thread owns a small ring
+// of chunk buffers and an asynchronous reader goroutine that fills buffer
+// i+1 while the thread parses buffer i (depth controlled by
+// Config.PrefetchChunks, ablated by Config.NoPrefetch). Records are parsed
+// in place by fastq.ChunkScanner — ID/Seq/Qual are sub-slices of the
+// resident chunk buffer, so the hot loop performs no per-record copies.
+// KmerGen-I/O therefore accounts only the *non-overlapped* read time: the
+// wait for a chunk that the prefetcher has not finished yet (the serial
+// ablation path still charges full read time).
 
 // kmerGen runs one pass of tuple enumeration on this task. On return,
 // kmerOut holds gl.total tuples grouped by destination task.
@@ -108,27 +117,30 @@ func (st *taskState) kmerGenThread(s, t int, gl genLayout, owner []uint16,
 		st.out.set(i, hi, lo, val)
 	}
 
-	var chunkBuf []byte
 	var laneBuf []kmer.Kmer64
-	for _, ci := range st.p.threadChunks[st.rank][t] {
+	var scanner fastq.ChunkScanner
+	fetch := newChunkFetcher(st.p.threadChunks[st.rank][t], idx, st.files, cfg.prefetchDepth())
+	defer fetch.close()
+	for {
+		// KmerGen-I/O: obtain the next chunk. With the prefetcher running,
+		// only the time spent *waiting* on an unfinished read is exposed
+		// I/O; the serial ablation path charges the whole ReadAt here.
+		t0 := time.Now()
+		ci, buf, err := fetch.next()
+		*ioTime += time.Since(t0)
+		if err != nil {
+			return err
+		}
+		if buf == nil {
+			break // all chunks consumed
+		}
 		c := &idx.Chunks[ci]
 
-		// KmerGen-I/O: load the chunk.
-		t0 := time.Now()
-		if int64(cap(chunkBuf)) < c.Size {
-			chunkBuf = make([]byte, c.Size)
-		}
-		chunkBuf = chunkBuf[:c.Size]
-		if _, err := st.files[c.File].ReadAt(chunkBuf, c.Offset); err != nil {
-			return fmt.Errorf("core: reading chunk %d: %w", ci, err)
-		}
-		*ioTime += time.Since(t0)
-
-		// KmerGen: parse records and enumerate tuples.
+		// KmerGen: parse records in place and enumerate tuples.
 		t0 = time.Now()
-		r := fastq.NewReader(bytes.NewReader(chunkBuf))
+		scanner.Reset(buf)
 		for n := int32(0); n < c.Records; n++ {
-			rec, err := r.Next()
+			rec, err := scanner.Next()
 			if err != nil {
 				return fmt.Errorf("core: chunk %d record %d: %w", ci, n, err)
 			}
@@ -167,6 +179,7 @@ func (st *taskState) kmerGenThread(s, t int, gl genLayout, owner []uint16,
 			}
 		}
 		*genTime += time.Since(t0)
+		fetch.release(buf)
 	}
 
 	// The index promised exact counts; verify this thread filled its

@@ -271,13 +271,16 @@ func stepsOf(reports []TaskReport) []StepTimes {
 
 // memoryBytes tallies this task's planned memory per the §3.7 inventory:
 // index tables (replicated), kmerOut and kmerIn, the component array p and
-// the received array p′ (4R each), and T chunk read buffers.
+// the received array p′ (4R each), and the chunk read buffers — with the
+// overlapped-I/O prefetcher, each thread circulates 1+PrefetchChunks
+// buffers instead of one, and the inventory charges them all.
 func (st *taskState) memoryBytes() int64 {
 	idx := st.p.idx
 	mem := idx.MemoryBytes()
 	mem += st.out.memBytes() + st.in.memBytes()
 	mem += 2 * 4 * int64(idx.Reads)
-	mem += int64(st.p.cfg.Threads) * st.maxChunkBytes
+	buffersPerThread := int64(1 + st.p.cfg.prefetchDepth())
+	mem += int64(st.p.cfg.Threads) * buffersPerThread * st.maxChunkBytes
 	return mem
 }
 

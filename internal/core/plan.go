@@ -178,6 +178,10 @@ func (p *plan) recvLayout(s, rank int) recvLayout {
 type sortLayout struct {
 	// partOff/partCnt: the T thread partitions of the sorted buffer.
 	partOff, partCnt []uint64
+	// partBinLo/partBinHi: each partition's m-mer bin range [lo, hi) — the
+	// key range the partitioning has already fixed, which the key-range-
+	// aware radix sort uses to skip passes over the pinned high bits.
+	partBinLo, partBinHi []int
 	// regionOff[r]: where region r (= src*T + srcThread) starts in kmerIn.
 	regionOff []uint64
 	// regionCnt[r]: tuples in region r.
@@ -203,9 +207,14 @@ func (p *plan) sortLayout(s, rank int, rl recvLayout) sortLayout {
 	l := sortLayout{
 		partOff:   make([]uint64, T),
 		partCnt:   make([]uint64, T),
+		partBinLo: make([]int, T),
+		partBinHi: make([]int, T),
 		regionOff: make([]uint64, nr),
 		regionCnt: make([]uint64, nr),
 		scatter:   make([]uint64, nr*T),
+	}
+	for d := 0; d < T; d++ {
+		l.partBinLo[d], l.partBinHi[d] = p.pt.ThreadRange(s, rank, d)
 	}
 	// cnt[r*T+d] = tuples of region r that fall in thread partition d.
 	cnt := make([]uint64, nr*T)

@@ -77,9 +77,19 @@ func (st *taskState) localSort(s int, sl sortLayout) {
 		}
 	})
 	// Stage 2: per-thread serial radix sort of each partition, scratch in
-	// the (now consumed) kmerIn.
+	// the (now consumed) kmerIn. Each partition's bin range bounds its key
+	// range, and merHist holds its exact per-bin counts (every tuple whose
+	// bin falls in a thread range is routed here), so the sort skips the
+	// passes the partitioning already decided.
+	shift := 2 * uint(st.p.idx.Opts.K-st.p.idx.Opts.M)
 	par.Run(T, func(d int) {
-		st.out.sortRange(sl.partOff[d], sl.partCnt[d], st.in)
+		kr := keyRange{
+			binLo:     sl.partBinLo[d],
+			binHi:     sl.partBinHi[d],
+			shift:     shift,
+			binCounts: st.p.idx.MerHist[sl.partBinLo[d]:sl.partBinHi[d]],
+		}
+		st.out.sortRange(sl.partOff[d], sl.partCnt[d], kr, st.in)
 	})
 	st.steps.LocalSort += time.Since(t0)
 }

@@ -75,11 +75,28 @@ func (b *tupleBuf) moveTuple(j uint64, src *tupleBuf, i uint64) {
 	}
 }
 
+// keyRange bounds the packed keys of one LocalSort thread partition: every
+// key's m-mer prefix bin (key >> shift) lies in [binLo, binHi), so the bits
+// above the highest bit the range leaves free never need a radix pass.
+// binCounts, when non-nil, is the global per-bin tuple count slice
+// (merHist[binLo:binHi]) — the exact MSD histogram the index tables already
+// hold, letting the sort scatter into bin order without a counting scan.
+type keyRange struct {
+	binLo, binHi int
+	// shift is the bit position of the bin field: 2(k-m).
+	shift     uint
+	binCounts []uint64
+}
+
 // sortRange sorts tuples [off, off+cnt) by key ascending using the serial
 // out-of-place radix sort of §3.4, with the corresponding range of scratch
 // as the ping-pong buffer (the pipeline passes kmerIn here, reusing the
-// exchange buffer exactly as the paper does).
-func (b *tupleBuf) sortRange(off, cnt uint64, scratch *tupleBuf) {
+// exchange buffer exactly as the paper does). kr bounds the keys in the
+// range: the sort runs only the passes the partitioning has not already
+// decided (a canonical k-mer has 2k significant bits, and the partition's
+// bin range pins the high-order ones), and with exact per-bin counts it
+// replaces the high-bit passes with a single scatter into bin order.
+func (b *tupleBuf) sortRange(off, cnt uint64, kr keyRange, scratch *tupleBuf) {
 	if cnt < 2 {
 		return
 	}
@@ -90,10 +107,34 @@ func (b *tupleBuf) sortRange(off, cnt uint64, scratch *tupleBuf) {
 	if b.wide() {
 		hi := b.hi[off : off+cnt]
 		sHi := scratch.hi[off : off+cnt]
-		radix.SortPairs128(hi, lo, val, sHi, sLo, sVal)
+		minHi, minLo := shift128(uint64(kr.binLo), kr.shift)
+		maxHi, maxLo := shift128(uint64(kr.binHi), kr.shift)
+		if maxLo == 0 { // 128-bit decrement: max = (binHi << shift) - 1
+			maxHi--
+		}
+		maxLo--
+		radix.SortPairs128Range(hi, lo, val, sHi, sLo, sVal, minHi, minLo, maxHi, maxLo)
 		return
 	}
-	radix.SortPairs64(lo, val, sLo, sVal, 8)
+	if kr.binCounts != nil &&
+		radix.SortPairs64Binned(lo, val, sLo, sVal, kr.shift, kr.binLo, kr.binCounts) {
+		return
+	}
+	minK := uint64(kr.binLo) << kr.shift
+	maxK := uint64(kr.binHi)<<kr.shift - 1
+	radix.SortPairs64Range(lo, val, sLo, sVal, minK, maxK)
+}
+
+// shift128 computes v << s in 128 bits, returned as (hi, lo).
+func shift128(v uint64, s uint) (hi, lo uint64) {
+	switch {
+	case s >= 64:
+		return v << (s - 64), 0
+	case s == 0:
+		return 0, v
+	default:
+		return v >> (64 - s), v << s
+	}
 }
 
 // keyEqual reports whether tuples i and j hold the same k-mer.

@@ -59,6 +59,46 @@ func FuzzReader(f *testing.F) {
 	})
 }
 
+// FuzzScannerParity checks that the zero-copy ChunkScanner and the streaming
+// Reader are observationally identical on arbitrary bytes: same records in
+// the same order, same terminating error class and text.
+func FuzzScannerParity(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte("@x\nACGT\n+\nIIII"))
+	f.Add([]byte("@\n\n+\n\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("@a\r\nAC\r\n+\r\nII\r\n"))
+	f.Add(bytes.Repeat([]byte("@r\nA\n+\nI\n"), 100))
+	f.Add([]byte("@r1\nACGT\n+\nIII\n"))
+	f.Add([]byte("@r1\nACGT\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		s := NewChunkScanner(data)
+		for i := 0; ; i++ {
+			rRec, rErr := r.Next()
+			sRec, sErr := s.Next()
+			if (rErr == nil) != (sErr == nil) {
+				t.Fatalf("record %d: Reader err %v, ChunkScanner err %v", i, rErr, sErr)
+			}
+			if rErr != nil {
+				if (rErr == io.EOF) != (sErr == io.EOF) ||
+					rErr != io.EOF && rErr.Error() != sErr.Error() {
+					t.Fatalf("record %d: errors differ:\n  Reader:       %v\n  ChunkScanner: %v", i, rErr, sErr)
+				}
+				return
+			}
+			if !Equal(rRec, sRec) {
+				t.Fatalf("record %d differs: Reader %q/%q/%q, ChunkScanner %q/%q/%q",
+					i, rRec.ID, rRec.Seq, rRec.Qual, sRec.ID, sRec.Seq, sRec.Qual)
+			}
+			if r.Offset() != s.Offset() || r.Count() != s.Count() {
+				t.Fatalf("record %d: offset/count diverge: Reader %d/%d, ChunkScanner %d/%d",
+					i, r.Offset(), r.Count(), s.Offset(), s.Count())
+			}
+		}
+	})
+}
+
 // FuzzTrimQuality checks the trimmer's invariants on arbitrary inputs.
 func FuzzTrimQuality(f *testing.F) {
 	f.Add([]byte("ACGT"), []byte("IIII"), 20)

@@ -1,0 +1,97 @@
+package fastq
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// ChunkScanner parses FASTQ records in place from a byte buffer that is
+// already fully resident in memory — the situation of every pipeline chunk
+// consumer, which reads a whole FASTQPart chunk with one ReadAt. Unlike
+// Reader it performs no buffering and no copying: the returned Record's ID,
+// Seq and Qual are sub-slices of the scanned buffer, valid for as long as
+// the buffer is (not merely until the next Next call).
+//
+// ChunkScanner accepts exactly the inputs Reader accepts and reports the
+// same errors (see the parity fuzz test); the one behavioural difference is
+// the lifetime guarantee above.
+type ChunkScanner struct {
+	buf []byte
+	// pos is the byte offset of the next unread byte.
+	pos int
+	// n is the number of records returned so far.
+	n int64
+}
+
+// NewChunkScanner returns a scanner over buf.
+func NewChunkScanner(buf []byte) *ChunkScanner {
+	s := &ChunkScanner{}
+	s.Reset(buf)
+	return s
+}
+
+// Reset rewinds the scanner onto a new buffer, allowing one scanner to walk
+// many chunks without allocation.
+func (s *ChunkScanner) Reset(buf []byte) {
+	s.buf = buf
+	s.pos = 0
+	s.n = 0
+}
+
+// Offset returns the byte offset of the next unread record.
+func (s *ChunkScanner) Offset() int64 { return int64(s.pos) }
+
+// Count returns the number of records returned so far.
+func (s *ChunkScanner) Count() int64 { return s.n }
+
+// line returns the next newline-terminated line as a sub-slice of the
+// buffer, stripping the trailing '\n' (and '\r' for CRLF input). A final
+// line without a trailing newline is returned as-is; io.EOF is returned
+// only once the buffer is exhausted.
+func (s *ChunkScanner) line() ([]byte, error) {
+	if s.pos >= len(s.buf) {
+		return nil, io.EOF
+	}
+	ln := s.buf[s.pos:]
+	if i := bytes.IndexByte(ln, '\n'); i >= 0 {
+		ln = ln[:i]
+		s.pos += i + 1
+	} else {
+		s.pos = len(s.buf)
+	}
+	if len(ln) > 0 && ln[len(ln)-1] == '\r' {
+		ln = ln[:len(ln)-1]
+	}
+	return ln, nil
+}
+
+// Next returns the next record, or io.EOF after the last one. The returned
+// record's fields are sub-slices of the scanned buffer.
+func (s *ChunkScanner) Next() (Record, error) {
+	hdr, err := s.line()
+	if err != nil {
+		return Record{}, err
+	}
+	if len(hdr) == 0 || hdr[0] != '@' {
+		return Record{}, fmt.Errorf("%w: record %d: header %q does not start with '@'", ErrFormat, s.n, clip(hdr))
+	}
+	seq, err := s.line()
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: record %d: truncated after header", ErrFormat, s.n)
+	}
+	sep, err := s.line()
+	if err != nil || len(sep) == 0 || sep[0] != '+' {
+		return Record{}, fmt.Errorf("%w: record %d: bad '+' separator line", ErrFormat, s.n)
+	}
+	qual, err := s.line()
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: record %d: truncated quality line", ErrFormat, s.n)
+	}
+	if len(qual) != len(seq) {
+		return Record{}, fmt.Errorf("%w: record %d: quality length %d != sequence length %d",
+			ErrFormat, s.n, len(qual), len(seq))
+	}
+	s.n++
+	return Record{ID: hdr[1:], Seq: seq, Qual: qual}, nil
+}

@@ -1,0 +1,160 @@
+package fastq
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// drainReader collects every record (cloned) and the terminating error from
+// the streaming Reader.
+func drainReader(data []byte) ([]Record, []int64, error) {
+	r := NewReader(bytes.NewReader(data))
+	var recs []Record
+	var offs []int64
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			return recs, offs, err
+		}
+		recs = append(recs, rec.Clone())
+		offs = append(offs, r.Offset())
+	}
+}
+
+// drainScanner collects every record and the terminating error from the
+// zero-copy ChunkScanner. No cloning: scanner records stay valid.
+func drainScanner(data []byte) ([]Record, []int64, error) {
+	s := NewChunkScanner(data)
+	var recs []Record
+	var offs []int64
+	for {
+		rec, err := s.Next()
+		if err != nil {
+			return recs, offs, err
+		}
+		recs = append(recs, rec)
+		offs = append(offs, s.Offset())
+	}
+}
+
+// checkParity asserts the two parsers agree byte-for-byte on records,
+// per-record offsets, and the terminating error.
+func checkParity(t *testing.T, data []byte) {
+	t.Helper()
+	rRecs, rOffs, rErr := drainReader(data)
+	sRecs, sOffs, sErr := drainScanner(data)
+	if len(rRecs) != len(sRecs) {
+		t.Fatalf("record count: Reader %d, ChunkScanner %d", len(rRecs), len(sRecs))
+	}
+	for i := range rRecs {
+		if !Equal(rRecs[i], sRecs[i]) {
+			t.Fatalf("record %d differs: Reader %q/%q/%q, ChunkScanner %q/%q/%q",
+				i, rRecs[i].ID, rRecs[i].Seq, rRecs[i].Qual,
+				sRecs[i].ID, sRecs[i].Seq, sRecs[i].Qual)
+		}
+		if rOffs[i] != sOffs[i] {
+			t.Fatalf("record %d offset: Reader %d, ChunkScanner %d", i, rOffs[i], sOffs[i])
+		}
+	}
+	if (rErr == nil) != (sErr == nil) {
+		t.Fatalf("error presence differs: Reader %v, ChunkScanner %v", rErr, sErr)
+	}
+	if errors.Is(rErr, io.EOF) != errors.Is(sErr, io.EOF) ||
+		errors.Is(rErr, ErrFormat) != errors.Is(sErr, ErrFormat) {
+		t.Fatalf("error class differs: Reader %v, ChunkScanner %v", rErr, sErr)
+	}
+	if rErr != nil && !errors.Is(rErr, io.EOF) && rErr.Error() != sErr.Error() {
+		t.Fatalf("error text differs:\n  Reader:       %v\n  ChunkScanner: %v", rErr, sErr)
+	}
+}
+
+func TestChunkScannerParity(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"single":            "@r1\nACGT\n+\nIIII\n",
+		"two records":       "@r1\nACGT\n+\nIIII\n@r2\nGGCC\n+\nJJJJ\n",
+		"no final newline":  "@r1\nACGT\n+\nIIII",
+		"crlf":              "@r1\r\nACGT\r\n+\r\nIIII\r\n",
+		"crlf no final LF":  "@r1\r\nACGT\r\n+\r\nIIII\r",
+		"plus with comment": "@r1\nACGT\n+r1 extra\nIIII\n",
+		"empty seq":         "@r1\n\n+\n\n",
+		"missing at":        "r1\nACGT\n+\nIIII\n",
+		"empty header":      "\nACGT\n+\nIIII\n",
+		"truncated header":  "@r1",
+		"truncated seq":     "@r1\nACGT",
+		"truncated sep":     "@r1\nACGT\n",
+		"bad sep":           "@r1\nACGT\n-\nIIII\n",
+		"empty sep":         "@r1\nACGT\n\nIIII\n",
+		"truncated qual":    "@r1\nACGT\n+\n",
+		"qual length":       "@r1\nACGT\n+\nIII\n",
+		"second record bad": "@r1\nACGT\n+\nIIII\n@r2\nAC\n+\nI\n",
+		"garbage":           "not fastq at all",
+		"only newlines":     "\n\n\n\n",
+		"blank then record": "\n@r1\nACGT\n+\nIIII\n",
+		"lone cr line":      "@r1\nAC\rGT\n+\nIIIII\n",
+		"nul bytes":         "@r\x001\nAC\n+\nII\n",
+		"many records":      strings.Repeat("@r\nA\n+\nI\n", 500),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) { checkParity(t, []byte(data)) })
+	}
+}
+
+// TestChunkScannerParityLongLine covers lines beyond the streaming Reader's
+// 256 KiB bufio buffer, which exercise its ErrBufferFull accumulation path.
+func TestChunkScannerParityLongLine(t *testing.T) {
+	long := bytes.Repeat([]byte("ACGT"), 80<<10) // 320 KiB sequence
+	var in bytes.Buffer
+	in.WriteString("@long read 1\n")
+	in.Write(long)
+	in.WriteString("\n+\n")
+	in.Write(bytes.Repeat([]byte("I"), len(long)))
+	in.WriteString("\n@tail\nAC\n+\nII\n")
+	checkParity(t, in.Bytes())
+
+	// And a truncated variant ending inside the long quality line.
+	trunc := in.Bytes()[:in.Len()/2]
+	checkParity(t, trunc)
+}
+
+func TestChunkScannerZeroCopy(t *testing.T) {
+	buf := []byte("@id one\nACGT\n+\nIIII\n")
+	s := NewChunkScanner(buf)
+	rec, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The record's fields must alias buf, not copies of it.
+	buf[1] = 'X'
+	buf[8] = 'T'
+	if string(rec.ID) != "Xd one" || string(rec.Seq) != "TCGT" {
+		t.Fatalf("fields are not views into the buffer: ID=%q Seq=%q", rec.ID, rec.Seq)
+	}
+}
+
+func TestChunkScannerReset(t *testing.T) {
+	s := NewChunkScanner([]byte("@a\nA\n+\nI\n"))
+	if _, err := s.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+	s.Reset([]byte("@b\nCC\n+\nII\n"))
+	if s.Count() != 0 || s.Offset() != 0 {
+		t.Fatal("Reset did not rewind counters")
+	}
+	rec, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.ID) != "b" || string(rec.Seq) != "CC" {
+		t.Fatalf("wrong record after Reset: %q/%q", rec.ID, rec.Seq)
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF after last record, got %v", err)
+	}
+}

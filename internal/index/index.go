@@ -278,7 +278,9 @@ func (idx *Index) scanChunks(withHist bool) error {
 	return nil
 }
 
-// histogramChunk fills chunk ci's histogram by reading its byte range.
+// histogramChunk fills chunk ci's histogram by reading its byte range with
+// one ReadAt and scanning the records in place (chunks are sized to be
+// buffer-resident, so the zero-copy ChunkScanner applies).
 func (idx *Index) histogramChunk(ci int) error {
 	c := &idx.Chunks[ci]
 	c.Hist = make([]uint32, idx.Opts.Bins())
@@ -287,9 +289,13 @@ func (idx *Index) histogramChunk(ci int) error {
 		return err
 	}
 	defer f.Close()
-	r := fastq.NewReader(io.NewSectionReader(f, c.Offset, c.Size))
+	buf := make([]byte, c.Size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, c.Offset, c.Size), buf); err != nil {
+		return fmt.Errorf("index: chunk %d of %s: %w", ci, idx.Files[c.File], err)
+	}
+	sc := fastq.NewChunkScanner(buf)
 	for n := int32(0); n < c.Records; n++ {
-		rec, err := r.Next()
+		rec, err := sc.Next()
 		if err != nil {
 			return fmt.Errorf("index: chunk %d of %s: %w", ci, idx.Files[c.File], err)
 		}

@@ -9,7 +9,171 @@
 // passes of 16 bits — is implemented here exactly, along with the 16-bit
 // variant so the locality claim can be re-measured (see the package
 // benchmarks).
+//
+// On top of the fixed-pass sorts, the package provides key-range-aware
+// entry points: a canonical k-mer has only 2k significant bits, and each
+// LocalSort thread partition owns a contiguous m-mer bin range that pins
+// the high-order bits besides. SortPairs64Range and SortPairs128Range
+// derive the pass count from the [min, max] key interval instead of always
+// sweeping all 8 (or 16) bytes, and SortPairs64Binned goes further: given
+// exact per-bin tuple counts (the index's merHist slice), it scatters the
+// keys into bin order without any counting scan and then finishes only the
+// low-order bits the binning left unsorted.
 package radix
+
+import "math/bits"
+
+// SignificantBytes64 returns the number of low-order 8-bit digits in which
+// keys drawn from the contiguous interval [min, max] can differ — the pass
+// count an LSD radix sort needs for such keys. Because the interval is
+// contiguous, every key in it shares the common high-order bits of min and
+// max, so only the bytes below the highest differing bit participate.
+func SignificantBytes64(min, max uint64) int {
+	return (bits.Len64(min^max) + 7) / 8
+}
+
+// SignificantBytes128 is SignificantBytes64 for 128-bit keys held as hi/lo
+// word pairs. The result counts 8-bit digits across both words (0..16) and
+// is the pass count for SortPairs128.
+func SignificantBytes128(minHi, minLo, maxHi, maxLo uint64) int {
+	if x := minHi ^ maxHi; x != 0 {
+		return (64 + bits.Len64(x) + 7) / 8
+	}
+	return (bits.Len64(minLo^maxLo) + 7) / 8
+}
+
+// Digit16MinLen and Digit16MaxLen bound the element counts for which
+// SortPairs64Range picks 16-bit digits over 8-bit ones. Below the window
+// the 65 536-entry count array costs more to clear and prefix-scan than
+// the halved pass count saves; above it the array's temporal locality
+// degrades, which is the paper's §3.4 argument for 8-bit digits (and
+// BenchmarkAblationRadixDigits re-measures it per host).
+const (
+	Digit16MinLen = 1 << 16
+	Digit16MaxLen = 1 << 21
+)
+
+// SortPairs64Range sorts keys known to lie in the contiguous interval
+// [min, max], running only the radix passes that interval leaves
+// undetermined and choosing the digit width from the element count: 16-bit
+// digits when they at least halve the passes and the input sits in the
+// window where the larger count array pays for itself, 8-bit digits
+// otherwise. Scratch requirements are those of SortPairs64.
+func SortPairs64Range(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint32, min, max uint64) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	sig := bits.Len64(min ^ max)
+	passes8 := (sig + 7) / 8
+	passes16 := (sig + 15) / 16
+	if 2*passes16 <= passes8 && n >= Digit16MinLen && n <= Digit16MaxLen {
+		SortPairs64Digit16(keys, vals, tmpK, tmpV, passes16)
+		return
+	}
+	SortPairs64(keys, vals, tmpK, tmpV, passes8)
+}
+
+// SortPairs128Range is SortPairs64Range for 128-bit keys: it derives the
+// pass count from the key interval and runs SortPairs128 with it.
+func SortPairs128Range(hi, lo []uint64, vals []uint32, tmpHi, tmpLo []uint64, tmpV []uint32,
+	minHi, minLo, maxHi, maxLo uint64) {
+	SortPairs128(hi, lo, vals, tmpHi, tmpLo, tmpV, SignificantBytes128(minHi, minLo, maxHi, maxLo))
+}
+
+// binnedInsertionMax is the run length below which SortPairs64Binned
+// finishes a bin with a stable insertion sort instead of radix passes. At
+// typical pipeline scales most bins hold only a handful of tuples, where
+// per-run radix setup would dominate.
+const binnedInsertionMax = 32
+
+// SortPairs64Binned sorts keys whose high field key>>shift is an m-mer bin
+// in [binLo, binLo+len(binCounts)) with exactly binCounts[b-binLo] keys per
+// bin b — the per-partition guarantee the METAPREP index tables provide.
+// The counts replace the counting scan of an MSD pass: keys are scattered
+// straight into bin order (a stable single pass with precomputed offsets)
+// and each bin's run is then finished over only the shift low-order bits
+// the binning leaves undetermined. The result is identical to a stable LSD
+// sort of the full keys.
+//
+// It returns false without modifying keys or vals when the counts do not
+// describe the input (wrong sum, an out-of-range bin, or a per-bin
+// mismatch), so callers can fall back to a range sort; tmpK and tmpV may
+// hold garbage in that case.
+func SortPairs64Binned(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint32,
+	shift uint, binLo int, binCounts []uint64) bool {
+	n := len(keys)
+	var total uint64
+	for _, c := range binCounts {
+		total += c
+	}
+	if total != uint64(n) {
+		return false
+	}
+	if n < 2 {
+		return true
+	}
+	// Exclusive prefix offsets; start[b] is retained for the post-scatter
+	// verification while cur[b] advances.
+	start := make([]uint64, len(binCounts)+1)
+	cur := make([]uint64, len(binCounts))
+	var off uint64
+	for b, c := range binCounts {
+		start[b] = off
+		cur[b] = off
+		off += c
+	}
+	start[len(binCounts)] = off
+	dstK, dstV := tmpK[:n], tmpV[:n]
+	for i, k := range keys {
+		b := int(k>>shift) - binLo
+		if b < 0 || b >= len(binCounts) {
+			return false
+		}
+		j := cur[b]
+		if j >= start[b+1] {
+			// More keys in this bin than promised: the counts are stale.
+			return false
+		}
+		cur[b]++
+		dstK[j] = k
+		dstV[j] = vals[i]
+	}
+	// Finish each bin's run over the low shift bits, writing back into
+	// keys/vals. Both finishing paths are stable, so the overall order
+	// matches a full stable LSD sort.
+	for b := range binCounts {
+		lo, hi := start[b], start[b+1]
+		cnt := hi - lo
+		if cnt == 0 {
+			continue
+		}
+		runK, runV := keys[lo:hi], vals[lo:hi]
+		copy(runK, dstK[lo:hi])
+		copy(runV, dstV[lo:hi])
+		if cnt <= binnedInsertionMax {
+			insertionPairs64(runK, runV)
+		} else {
+			SortPairs64Range(runK, runV, dstK[lo:hi], dstV[lo:hi], 0, uint64(1)<<shift-1)
+		}
+	}
+	return true
+}
+
+// insertionPairs64 is a stable insertion sort of a short key/value run.
+func insertionPairs64(keys []uint64, vals []uint32) {
+	for i := 1; i < len(keys); i++ {
+		k, v := keys[i], vals[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			keys[j+1] = keys[j]
+			vals[j+1] = vals[j]
+			j--
+		}
+		keys[j+1] = k
+		vals[j+1] = v
+	}
+}
 
 // SortPairs64 sorts keys (and vals along with it) ascending using a stable
 // LSD radix sort with 8-bit digits. tmpK and tmpV are scratch buffers of at
@@ -104,18 +268,24 @@ func SortPairs64Digit16(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint
 }
 
 // SortPairs128 sorts 128-bit keys held as parallel hi/lo slices (and vals
-// along with them) using a stable LSD radix sort with 8-bit digits: 8
-// passes over lo then 8 over hi, 16 passes total as in the paper's 63-mer
-// configuration (§4.4). Scratch slices must be ≥ len(lo).
-func SortPairs128(hi, lo []uint64, vals []uint32, tmpHi, tmpLo []uint64, tmpV []uint32) {
+// along with them) using a stable LSD radix sort with 8-bit digits: up to
+// 8 passes over lo then 8 over hi, 16 passes total as in the paper's
+// 63-mer configuration (§4.4). passes selects how many low-order bytes of
+// the 128-bit key participate (16 covers the full key; a canonical k-mer
+// needs only ⌈2k/8⌉, see SignificantBytes128). Scratch slices must be ≥
+// len(lo).
+func SortPairs128(hi, lo []uint64, vals []uint32, tmpHi, tmpLo []uint64, tmpV []uint32, passes int) {
 	n := len(lo)
-	if n < 2 {
+	if n < 2 || passes <= 0 {
 		return
+	}
+	if passes > 16 {
+		passes = 16
 	}
 	srcH, srcL, srcV := hi, lo, vals
 	dstH, dstL, dstV := tmpHi[:n], tmpLo[:n], tmpV[:n]
 	var count [256]int
-	for p := 0; p < 16; p++ {
+	for p := 0; p < passes; p++ {
 		shift := uint(8 * (p % 8))
 		word := srcL
 		if p >= 8 {

@@ -161,7 +161,7 @@ func TestSortPairs128(t *testing.T) {
 			}
 			return ref[i].l < ref[j].l
 		})
-		SortPairs128(hi, lo, vals, make([]uint64, n), make([]uint64, n), make([]uint32, n))
+		SortPairs128(hi, lo, vals, make([]uint64, n), make([]uint64, n), make([]uint32, n), 16)
 		for i := range ref {
 			if hi[i] != ref[i].h || lo[i] != ref[i].l || vals[i] != ref[i].v {
 				t.Fatalf("n=%d index %d: got (%d,%d,%d) want (%d,%d,%d)",
@@ -296,7 +296,7 @@ func BenchmarkSortPairs128_1e6(b *testing.B) {
 		copy(workL, lo)
 		copy(workV, vals)
 		b.StartTimer()
-		SortPairs128(workH, workL, workV, tmpH, tmpL, tmpV)
+		SortPairs128(workH, workL, workV, tmpH, tmpL, tmpV, 16)
 	}
 }
 
@@ -314,6 +314,201 @@ func TestSortKeys64(t *testing.T) {
 			if keys[i] != want[i] {
 				t.Fatalf("n=%d index %d: %d != %d", n, i, keys[i], want[i])
 			}
+		}
+	}
+}
+
+// --- key-range-aware entry points -----------------------------------------
+
+func TestSignificantBytes64(t *testing.T) {
+	cases := []struct {
+		min, max uint64
+		want     int
+	}{
+		{0, 0, 0},
+		{7, 7, 0},
+		{0, 1, 1},
+		{0, 255, 1},
+		{0, 256, 2},
+		{0, 1<<54 - 1, 7},
+		{0, ^uint64(0), 8},
+		{1 << 53, 1<<54 - 1, 7},     // shared top bit region still spans 53 low bits
+		{1 << 60, 1<<60 | 0xFF, 1},  // high bits pinned, one live byte
+		{1 << 60, 1<<60 | 0x1FF, 2}, // 9 live bits
+	}
+	for _, c := range cases {
+		if got := SignificantBytes64(c.min, c.max); got != c.want {
+			t.Errorf("SignificantBytes64(%#x, %#x) = %d, want %d", c.min, c.max, got, c.want)
+		}
+	}
+}
+
+func TestSignificantBytes128(t *testing.T) {
+	cases := []struct {
+		minHi, minLo, maxHi, maxLo uint64
+		want                       int
+	}{
+		{0, 0, 0, 0, 0},
+		{0, 0, 0, ^uint64(0), 8},
+		{0, 0, 1, 0, 9},
+		{0, 0, 1<<62 - 1, ^uint64(0), 16},
+		{3, 0, 3, 255, 1},
+		{1 << 40, 0, 1<<40 | 1, 0, 9}, // hi words differ in bit 0 → 64+1 bits
+	}
+	for _, c := range cases {
+		if got := SignificantBytes128(c.minHi, c.minLo, c.maxHi, c.maxLo); got != c.want {
+			t.Errorf("SignificantBytes128(%#x,%#x, %#x,%#x) = %d, want %d",
+				c.minHi, c.minLo, c.maxHi, c.maxLo, got, c.want)
+		}
+	}
+}
+
+func TestSortPairs64Range(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 2, 100, 3000, Digit16MinLen + 1} {
+		for _, bits := range []uint{1, 16, 38, 54, 64} {
+			keys, vals := randPairs(rng, n, bits)
+			origK := append([]uint64(nil), keys...)
+			origV := append([]uint32(nil), vals...)
+			max := ^uint64(0)
+			if bits < 64 {
+				max = uint64(1)<<bits - 1
+			}
+			SortPairs64Range(keys, vals, make([]uint64, n), make([]uint32, n), 0, max)
+			checkSorted64(t, origK, origV, keys, vals)
+		}
+	}
+}
+
+func TestSortPairs64RangePinnedHighBits(t *testing.T) {
+	// Keys share a fixed high prefix; the range sort must still order the
+	// live low bits (and may skip the pinned passes).
+	rng := rand.New(rand.NewSource(7))
+	const base = uint64(0xABC) << 40
+	n := 5000
+	keys, vals := randPairs(rng, n, 40)
+	for i := range keys {
+		keys[i] |= base
+	}
+	origK := append([]uint64(nil), keys...)
+	origV := append([]uint32(nil), vals...)
+	SortPairs64Range(keys, vals, make([]uint64, n), make([]uint32, n), base, base|(uint64(1)<<40-1))
+	checkSorted64(t, origK, origV, keys, vals)
+}
+
+// binnedInput builds keys whose top field (key >> shift) is a bin in
+// [binLo, binHi) together with the exact per-bin counts.
+func binnedInput(rng *rand.Rand, n int, shift uint, binLo, binHi int) ([]uint64, []uint32, []uint64) {
+	keys := make([]uint64, n)
+	vals := make([]uint32, n)
+	counts := make([]uint64, binHi-binLo)
+	low := uint64(1)<<shift - 1
+	for i := range keys {
+		b := binLo + rng.Intn(binHi-binLo)
+		keys[i] = uint64(b)<<shift | (rng.Uint64() & low)
+		vals[i] = uint32(i)
+		counts[b-binLo]++
+	}
+	return keys, vals, counts
+}
+
+func TestSortPairs64Binned(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{0, 1, 2, 33, 1000, 20000} {
+		for _, tc := range []struct {
+			shift        uint
+			binLo, binHi int
+		}{
+			{38, 0, 7},      // few bins → long runs (radix finishing path)
+			{38, 100, 5000}, // many bins → short runs (insertion path)
+			{0, 0, 256},     // k == m: the bin is the whole key
+			{60, 1, 3},      // maximal shift for 64-bit k-mers
+		} {
+			keys, vals, counts := binnedInput(rng, n, tc.shift, tc.binLo, tc.binHi)
+			origK := append([]uint64(nil), keys...)
+			origV := append([]uint32(nil), vals...)
+			if !SortPairs64Binned(keys, vals, make([]uint64, n), make([]uint32, n), tc.shift, tc.binLo, counts) {
+				t.Fatalf("n=%d shift=%d: binned sort rejected consistent counts", n, tc.shift)
+			}
+			checkSorted64(t, origK, origV, keys, vals)
+		}
+	}
+}
+
+func TestSortPairs64BinnedStability(t *testing.T) {
+	// Equal keys must keep input order through the scatter + finishing
+	// passes, so the binned path is interchangeable with a stable LSD sort.
+	keys := []uint64{5<<38 | 1, 1 << 38, 5<<38 | 1, 1 << 38, 5<<38 | 1}
+	vals := []uint32{0, 1, 2, 3, 4}
+	counts := []uint64{2, 0, 0, 0, 3} // bins 1..5
+	if !SortPairs64Binned(keys, vals, make([]uint64, 5), make([]uint32, 5), 38, 1, counts) {
+		t.Fatal("rejected consistent counts")
+	}
+	wantK := []uint64{1 << 38, 1 << 38, 5<<38 | 1, 5<<38 | 1, 5<<38 | 1}
+	wantV := []uint32{1, 3, 0, 2, 4}
+	for i := range wantK {
+		if keys[i] != wantK[i] || vals[i] != wantV[i] {
+			t.Fatalf("got %v/%v want %v/%v", keys, vals, wantK, wantV)
+		}
+	}
+}
+
+func TestSortPairs64BinnedRejectsBadCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	keys, vals, counts := binnedInput(rng, 500, 38, 0, 16)
+	origK := append([]uint64(nil), keys...)
+	origV := append([]uint32(nil), vals...)
+
+	// Wrong total.
+	bad := append([]uint64(nil), counts...)
+	bad[0]++
+	if SortPairs64Binned(keys, vals, make([]uint64, 500), make([]uint32, 500), 38, 0, bad) {
+		t.Fatal("accepted counts with wrong sum")
+	}
+	// Right total, wrong distribution: swap weight between two non-empty bins.
+	bad = append([]uint64(nil), counts...)
+	moved := false
+	for i := 0; i+1 < len(bad) && !moved; i++ {
+		if bad[i] > 0 {
+			bad[i]--
+			bad[i+1]++
+			moved = true
+		}
+	}
+	if moved && SortPairs64Binned(keys, vals, make([]uint64, 500), make([]uint32, 500), 38, 0, bad) {
+		t.Fatal("accepted counts with wrong distribution")
+	}
+	// Out-of-range bin: pretend the bin space starts one bin later.
+	if SortPairs64Binned(keys, vals, make([]uint64, 500), make([]uint32, 500), 38, 1, counts) {
+		t.Fatal("accepted out-of-range bins")
+	}
+	// Rejection must leave keys and vals untouched.
+	for i := range keys {
+		if keys[i] != origK[i] || vals[i] != origV[i] {
+			t.Fatal("rejected call modified its input")
+		}
+	}
+}
+
+func TestSortPairs128Passes(t *testing.T) {
+	// With high words all equal, 8 passes (the lo word) must fully sort.
+	rng := rand.New(rand.NewSource(10))
+	n := 2000
+	hi := make([]uint64, n)
+	lo := make([]uint64, n)
+	vals := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		hi[i] = 99
+		lo[i] = rng.Uint64()
+		vals[i] = uint32(i)
+	}
+	origL := append([]uint64(nil), lo...)
+	origV := append([]uint32(nil), vals...)
+	SortPairs128(hi, lo, vals, make([]uint64, n), make([]uint64, n), make([]uint32, n), 8)
+	checkSorted64(t, origL, origV, lo, vals)
+	for i := range hi {
+		if hi[i] != 99 {
+			t.Fatal("hi words disturbed")
 		}
 	}
 }
