@@ -17,8 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"metaprep"
+	"metaprep/internal/obsv"
 	"metaprep/internal/stats"
 )
 
@@ -34,6 +36,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "checktrace":
+		err = cmdCheckTrace(os.Args[2:])
 	case "normalize":
 		err = cmdNormalize(os.Args[2:])
 	case "interleave":
@@ -53,7 +57,10 @@ func usage() {
   metaprep run        -index FILE [-tasks 1] [-threads 1] [-passes 1]
                       [-kf-min 0] [-kf-max 0] [-split N] [-sparse-merge]
                       [-outdir DIR] [-edison-net] [-merge-output]
+                      [-trace FILE] [-metrics FILE] [-counters FILE|-]
+                      [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
   metaprep stats      -index FILE
+  metaprep checktrace -trace FILE [-metrics FILE] [-tol 0.01]
   metaprep normalize  [-k 20] [-target 20] [-paired] -out FILE fastq...
   metaprep interleave -out FILE mate1.fastq mate2.fastq`)
 	os.Exit(2)
@@ -101,6 +108,12 @@ func cmdRun(args []string) error {
 	prefetch := fs.Int("prefetch", 0, "per-thread chunk read-ahead depth (0 = default of 1)")
 	noPrefetch := fs.Bool("no-prefetch", false, "disable overlapped chunk I/O (ablation)")
 	labelsPath := fs.String("labels", "", "also save the component label array here")
+	tracePath := fs.String("trace", "", "write a Perfetto-loadable Chrome trace of the run here")
+	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot (steps, per-task reports, counters) here")
+	countersPath := fs.String("counters", "", "write the counter snapshot as CSV here ('-' prints a table)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run here")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile after the run here")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address during the run (e.g. localhost:6060)")
 	fs.Parse(args)
 	if *idxPath == "" {
 		return fmt.Errorf("run: -index is required")
@@ -125,27 +138,55 @@ func cmdRun(args []string) error {
 	if *edisonNet {
 		cfg.Network = metaprep.EdisonNetwork()
 	}
-	res, err := metaprep.Partition(cfg)
+	var obs *metaprep.Collector
+	if *tracePath != "" || *metricsPath != "" || *countersPath != "" {
+		obs = metaprep.NewCollector()
+		cfg.Obs = obs
+	}
+	finish, err := startProfiling(*cpuprofile, *pprofAddr)
 	if err != nil {
 		return err
 	}
+	res, err := metaprep.Partition(cfg)
+	if perr := finish(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
+		return err
+	}
+	if *memprofile != "" {
+		if err := obsv.WriteHeapProfile(*memprofile); err != nil {
+			return err
+		}
+	}
 
 	t := stats.NewTable("Step", "Time")
-	s := res.Steps
-	t.AddRow("KmerGen-I/O", s.KmerGenIO)
-	t.AddRow("KmerGen", s.KmerGen)
-	t.AddRow("KmerGen-Comm", s.KmerGenComm)
-	t.AddRow("LocalSort", s.LocalSort)
-	t.AddRow("LocalCC", s.LocalCC)
-	t.AddRow("Merge-Comm", s.MergeComm)
-	t.AddRow("MergeCC", s.MergeCC)
-	t.AddRow("CC-I/O", s.CCIO)
-	t.AddRow("Total (max over tasks)", s.Total())
+	res.Steps.Each(func(name string, d time.Duration) { t.AddRow(name, d) })
+	t.AddRow("Total (max over tasks)", res.Steps.Total())
 	t.AddRow("Wall", res.Wall)
 	fmt.Print(t.String())
 	fmt.Printf("reads=%d tuples=%d edges=%d components=%d largest=%d (%.1f%%) mem/task=%.1fMB\n",
 		res.Reads, res.Tuples, res.Edges, res.Components, res.LargestSize,
 		100*res.LargestFraction(), float64(res.MemoryPerTask)/float64(1<<20))
+	if obs != nil {
+		if *tracePath != "" {
+			if err := obs.SaveTrace(*tracePath); err != nil {
+				return err
+			}
+			fmt.Printf("trace: %s (load in ui.perfetto.dev)\n", *tracePath)
+		}
+		if *metricsPath != "" {
+			if err := writeMetrics(*metricsPath, res, obs); err != nil {
+				return err
+			}
+			fmt.Printf("metrics: %s\n", *metricsPath)
+		}
+		if *countersPath != "" {
+			if err := writeCounters(*countersPath, obs); err != nil {
+				return err
+			}
+		}
+	}
 	if *labelsPath != "" {
 		if err := metaprep.SaveLabels(*labelsPath, res.Labels); err != nil {
 			return err

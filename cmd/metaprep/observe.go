@@ -1,0 +1,246 @@
+// observe.go wires the observability layer into the CLI: the run
+// subcommand's profiling/export flags and the checktrace subcommand that
+// validates a trace against its metrics snapshot (the invariant CI checks:
+// per-task step-span sums reconcile with the reported StepTimes totals).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"metaprep"
+	"metaprep/internal/obsv"
+)
+
+// stepJSON is one named step duration in the metrics snapshot.
+type stepJSON struct {
+	Name  string `json:"name"`
+	Nanos int64  `json:"nanos"`
+}
+
+// taskJSON is one task's report in the metrics snapshot.
+type taskJSON struct {
+	Rank        int        `json:"rank"`
+	Steps       []stepJSON `json:"steps"`
+	TotalNanos  int64      `json:"total_nanos"`
+	Tuples      uint64     `json:"tuples"`
+	Edges       uint64     `json:"edges"`
+	BytesSent   int64      `json:"bytes_sent"`
+	MergeBytes  int64      `json:"merge_bytes"`
+	CCIters     int        `json:"cc_iters"`
+	MemoryBytes int64      `json:"memory_bytes"`
+}
+
+// metricsJSON is the -metrics document: the run's aggregate step times (max
+// over tasks, the paper's figure quantity), every task's own report, and the
+// counter snapshot.
+type metricsJSON struct {
+	WallNanos int64                   `json:"wall_nanos"`
+	StepsMax  []stepJSON              `json:"steps_max"`
+	PerTask   []taskJSON              `json:"per_task"`
+	Counters  []metaprep.CounterValue `json:"counters"`
+}
+
+func stepsToJSON(s metaprep.StepTimes) []stepJSON {
+	var out []stepJSON
+	s.Each(func(name string, d time.Duration) { out = append(out, stepJSON{Name: name, Nanos: int64(d)}) })
+	return out
+}
+
+// writeMetrics renders the metrics snapshot for a finished run.
+func writeMetrics(path string, res *metaprep.Result, obs *metaprep.Collector) error {
+	doc := metricsJSON{
+		WallNanos: int64(res.Wall),
+		StepsMax:  stepsToJSON(res.Steps),
+		Counters:  obs.Counters(),
+	}
+	for _, rep := range res.PerTask {
+		doc.PerTask = append(doc.PerTask, taskJSON{
+			Rank:        rep.Rank,
+			Steps:       stepsToJSON(rep.Steps),
+			TotalNanos:  int64(rep.Steps.Total()),
+			Tuples:      rep.Tuples,
+			Edges:       rep.Edges,
+			BytesSent:   rep.BytesSent,
+			MergeBytes:  rep.MergeBytes,
+			CCIters:     rep.CCIters,
+			MemoryBytes: rep.MemoryBytes,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeCounters emits the counter snapshot: "-" prints the aligned table to
+// stdout, any other path gets CSV.
+func writeCounters(path string, obs *metaprep.Collector) error {
+	if path == "-" {
+		fmt.Print(obs.CountersTable().String())
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteCountersCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// startProfiling begins the CPU profile and pprof server when requested and
+// returns a finish function that stops the profile (call it before writing
+// the heap profile or exiting).
+func startProfiling(cpuprofile, pprofAddr string) (finish func() error, err error) {
+	finish = func() error { return nil }
+	if pprofAddr != "" {
+		bound, errs, err := obsv.StartPprofServer(pprofAddr)
+		if err != nil {
+			return finish, err
+		}
+		go func() {
+			for e := range errs {
+				fmt.Fprintln(os.Stderr, "metaprep: pprof server:", e)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", bound)
+	}
+	if cpuprofile != "" {
+		stop, err := obsv.StartCPUProfile(cpuprofile)
+		if err != nil {
+			return finish, err
+		}
+		finish = stop
+	}
+	return finish, nil
+}
+
+// checkEvent mirrors the trace wire format for validation.
+type checkEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type checkFile struct {
+	TraceEvents []checkEvent `json:"traceEvents"`
+}
+
+type checkMetrics struct {
+	PerTask []struct {
+		Rank       int   `json:"rank"`
+		TotalNanos int64 `json:"total_nanos"`
+	} `json:"per_task"`
+}
+
+// cmdCheckTrace validates a -trace file: well-formed Chrome trace events,
+// metadata before spans, monotonically non-decreasing timestamps — and, when
+// the matching -metrics snapshot is given, that each task's "step" span sum
+// matches its StepTimes total within the tolerance (the ISSUE acceptance
+// bound of 1%).
+func cmdCheckTrace(args []string) error {
+	fs := flag.NewFlagSet("checktrace", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace JSON from 'metaprep run -trace' (required)")
+	metricsPath := fs.String("metrics", "", "metrics JSON from the same run, to reconcile step spans against")
+	tol := fs.Float64("tol", 0.01, "allowed relative difference between span sums and step totals")
+	fs.Parse(args)
+	if *tracePath == "" {
+		return fmt.Errorf("checktrace: -trace is required")
+	}
+
+	raw, err := os.ReadFile(*tracePath)
+	if err != nil {
+		return err
+	}
+	var tf checkFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return fmt.Errorf("checktrace: %s: %w", *tracePath, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("checktrace: %s: no trace events", *tracePath)
+	}
+
+	spanSum := map[int]float64{} // pid -> Σ dur of cat=="step" spans, µs
+	spans, metas := 0, 0
+	lastTs := math.Inf(-1)
+	seenSpan := false
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("checktrace: event %d: empty name", i)
+		}
+		switch ev.Ph {
+		case "M":
+			metas++
+			if seenSpan {
+				return fmt.Errorf("checktrace: event %d: metadata after span events", i)
+			}
+		case "X":
+			spans++
+			seenSpan = true
+			if ev.Ts < 0 {
+				return fmt.Errorf("checktrace: event %d (%s): negative ts %g", i, ev.Name, ev.Ts)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("checktrace: event %d (%s): missing or negative dur", i, ev.Name)
+			}
+			if ev.Ts < lastTs {
+				return fmt.Errorf("checktrace: event %d (%s): ts %g decreases below %g", i, ev.Name, ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+			if ev.Cat == "step" {
+				spanSum[ev.Pid] += *ev.Dur
+			}
+		default:
+			return fmt.Errorf("checktrace: event %d (%s): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+
+	if *metricsPath != "" {
+		mraw, err := os.ReadFile(*metricsPath)
+		if err != nil {
+			return err
+		}
+		var mf checkMetrics
+		if err := json.Unmarshal(mraw, &mf); err != nil {
+			return fmt.Errorf("checktrace: %s: %w", *metricsPath, err)
+		}
+		if len(mf.PerTask) == 0 {
+			return fmt.Errorf("checktrace: %s: no per-task reports", *metricsPath)
+		}
+		for _, task := range mf.PerTask {
+			gotUs := spanSum[task.Rank]
+			wantUs := float64(task.TotalNanos) / 1e3
+			diff := math.Abs(gotUs - wantUs)
+			// Sub-microsecond slack absorbs the µs quantization of the
+			// trace encoding on near-zero steps.
+			if diff > 1 && diff > *tol*math.Max(wantUs, 1) {
+				return fmt.Errorf("checktrace: task %d: step spans sum to %.1fµs, StepTimes total is %.1fµs (diff %.2f%% > %.2f%%)",
+					task.Rank, gotUs, wantUs, 100*diff/math.Max(wantUs, 1), 100**tol)
+			}
+		}
+		fmt.Printf("checktrace: OK: %d events (%d spans, %d metadata), %d tasks reconciled within %.2f%%\n",
+			len(tf.TraceEvents), spans, metas, len(mf.PerTask), 100**tol)
+		return nil
+	}
+	fmt.Printf("checktrace: OK: %d events (%d spans, %d metadata)\n", len(tf.TraceEvents), spans, metas)
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 
 	"metaprep/internal/index"
 	"metaprep/internal/mpirt"
+	"metaprep/internal/obsv"
 )
 
 // Filter is the k-mer frequency filter of §4.4: read-graph edges are only
@@ -110,6 +111,13 @@ type Config struct {
 	// (§3.2.1, used for k ≤ 31), falling back to the scalar rolling
 	// generator; the ablation benchmark compares the two.
 	NoVectorKmerGen bool
+	// Obs, when non-nil, collects per-step spans (exported as a
+	// Perfetto-loadable Chrome trace) and typed counters (bytes read,
+	// tuples exchanged per rank pair, radix passes, union–find operation
+	// mix, …) for the run. The nil default is a no-op collector: the hot
+	// path stays allocation-free and benchmark-neutral (see
+	// BenchmarkPipelineObsv and EXPERIMENTS.md).
+	Obs *obsv.Collector
 }
 
 // Default returns a single-task configuration with sensible defaults for
@@ -173,6 +181,20 @@ type StepTimes struct {
 func (s StepTimes) Total() time.Duration {
 	return s.KmerGenIO + s.KmerGen + s.KmerGenComm + s.LocalSort +
 		s.LocalCC + s.MergeComm + s.MergeCC + s.CCIO
+}
+
+// Each visits every step in pipeline order with the paper's display name
+// (Fig. 5–7 labels) — the single source of truth for step rendering in
+// the CLI table, the metrics output and the trace span names.
+func (s StepTimes) Each(fn func(name string, d time.Duration)) {
+	fn("KmerGen-I/O", s.KmerGenIO)
+	fn("KmerGen", s.KmerGen)
+	fn("KmerGen-Comm", s.KmerGenComm)
+	fn("LocalSort", s.LocalSort)
+	fn("LocalCC", s.LocalCC)
+	fn("Merge-Comm", s.MergeComm)
+	fn("MergeCC", s.MergeCC)
+	fn("CC-I/O", s.CCIO)
 }
 
 // Add accumulates other into s (used to fold per-pass times).

@@ -23,7 +23,7 @@ type testData struct {
 	idx   *index.Index
 }
 
-func genDataset(t *testing.T, rng *rand.Rand, opts index.Options, files, recsPerFile, readLen int) *testData {
+func genDataset(t testing.TB, rng *rand.Rand, opts index.Options, files, recsPerFile, readLen int) *testData {
 	t.Helper()
 	dir := t.TempDir()
 	td := &testData{}
@@ -68,7 +68,7 @@ func genDataset(t *testing.T, rng *rand.Rand, opts index.Options, files, recsPer
 
 // overlappingDataset generates reads drawn from a few synthetic genomes so
 // reads genuinely share k-mers (random reads rarely do).
-func overlappingDataset(t *testing.T, rng *rand.Rand, opts index.Options, genomes, genomeLen, reads, readLen int) *testData {
+func overlappingDataset(t testing.TB, rng *rand.Rand, opts index.Options, genomes, genomeLen, reads, readLen int) *testData {
 	t.Helper()
 	dir := t.TempDir()
 	gs := make([][]byte, genomes)

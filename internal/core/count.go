@@ -4,6 +4,8 @@ import (
 	"time"
 
 	"metaprep/internal/mpirt"
+	"metaprep/internal/obsv"
+	"metaprep/internal/radix"
 )
 
 // count.go runs the pipeline as a distributed k-mer counter — the reuse the
@@ -70,16 +72,26 @@ func RunCount(cfg Config) (*CountResult, error) {
 	}
 
 	world := mpirt.NewWorld(cfg.Tasks, cfg.Network)
+	world.SetCollector(cfg.Obs)
+	if cfg.Obs != nil {
+		radix.EnablePassStats()
+		radix.TakePassStats() // discard tallies from earlier, unobserved sorts
+		defer func() {
+			ex, sk := radix.TakePassStats()
+			cfg.Obs.Counter(obsv.RankGlobal, "radix/passes_executed").Add(ex)
+			cfg.Obs.Counter(obsv.RankGlobal, "radix/passes_skipped").Add(sk)
+			radix.DisablePassStats()
+		}()
+	}
 	perPass := make([][]taskCounts, cfg.Passes)
 	for s := range perPass {
 		perPass[s] = make([]taskCounts, cfg.Tasks)
 	}
-	reports := make([]StepTimes, cfg.Tasks)
-	tuples := make([]uint64, cfg.Tasks)
+	reports := make([]TaskReport, cfg.Tasks)
 
 	start := time.Now()
 	err = world.Run(func(task *mpirt.Task) error {
-		st := &taskState{p: pl, rank: task.Rank(), t: task}
+		st := newTaskState(pl, task)
 		defer st.closeFiles()
 		files, err := openInputs(pl.idx)
 		if err != nil {
@@ -115,18 +127,21 @@ func RunCount(cfg Config) (*CountResult, error) {
 					tc.counts = append(tc.counts, uint32(b-a))
 				})
 			}
-			st.steps.LocalCC += time.Since(t0)
+			d := time.Since(t0)
+			st.rep.Steps.LocalCC += d
+			st.stepSpan("LocalCC", t0, d)
 			task.Barrier()
 		}
-		reports[st.rank] = st.steps
-		tuples[st.rank] = st.tuples
+		st.rep.BytesSent = task.BytesSent()
+		st.finishObs()
+		reports[st.rank] = st.rep
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	res := &CountResult{Steps: MaxOf(reports), Wall: time.Since(start)}
+	res := &CountResult{Steps: MaxOf(stepsOf(reports)), Wall: time.Since(start)}
 	for s := 0; s < cfg.Passes; s++ {
 		for rank := 0; rank < cfg.Tasks; rank++ {
 			tc := &perPass[s][rank]
@@ -138,8 +153,8 @@ func RunCount(cfg Config) (*CountResult, error) {
 	if pl.use64() {
 		res.KmersHi = nil
 	}
-	for _, t := range tuples {
-		res.Tuples += t
+	for _, rep := range reports {
+		res.Tuples += rep.Tuples
 	}
 	return res, nil
 }

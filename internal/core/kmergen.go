@@ -9,6 +9,7 @@ import (
 	"metaprep/internal/fastq"
 	"metaprep/internal/index"
 	"metaprep/internal/kmer"
+	"metaprep/internal/obsv"
 	"metaprep/internal/par"
 )
 
@@ -57,6 +58,7 @@ func (st *taskState) kmerGen(s int, gl genLayout) error {
 	ioTimes := make([]time.Duration, T)
 	genTimes := make([]time.Duration, T)
 	errs := make([]error, T)
+	phaseStart := time.Now()
 	par.Run(T, func(t int) {
 		errs[t] = st.kmerGenThread(s, t, gl, owner, passLo, passHi, sharedCur,
 			&ioTimes[t], &genTimes[t])
@@ -66,9 +68,16 @@ func (st *taskState) kmerGen(s int, gl genLayout) error {
 			return err
 		}
 	}
-	st.steps.KmerGenIO += maxOfDur(ioTimes)
-	st.steps.KmerGen += maxOfDur(genTimes)
-	st.tuples += gl.total
+	// The step charge is the critical-path (max-over-threads) time, exactly
+	// what the step spans report: I/O first, then enumeration, chained so the
+	// two spans tile the step track without overlapping.
+	ioDur, genDur := maxOfDur(ioTimes), maxOfDur(genTimes)
+	st.rep.Steps.KmerGenIO += ioDur
+	st.rep.Steps.KmerGen += genDur
+	st.rep.Tuples += gl.total
+	st.stepSpan("KmerGen-I/O", phaseStart, ioDur)
+	st.stepSpan("KmerGen", phaseStart.Add(ioDur), genDur)
+	st.counter("kmergen/kmers").Add(gl.total)
 	return nil
 }
 
@@ -119,7 +128,16 @@ func (st *taskState) kmerGenThread(s, t int, gl genLayout, owner []uint16,
 
 	var laneBuf []kmer.Kmer64
 	var scanner fastq.ChunkScanner
-	fetch := newChunkFetcher(st.p.threadChunks[st.rank][t], idx, st.files, cfg.prefetchDepth())
+	obs := st.obs
+	tid := obsv.TidWorker + t
+	var cBytes, cRecords, cChunks *obsv.Counter
+	if obs != nil {
+		cBytes = st.counter("kmergen/bytes_read")
+		cRecords = st.counter("kmergen/records")
+		cChunks = st.counter("kmergen/chunks")
+	}
+	fetch := newChunkFetcher(st.p.threadChunks[st.rank][t], idx, st.files, cfg.prefetchDepth(),
+		obs, st.rank, obsv.TidPrefetch+t)
 	defer fetch.close()
 	for {
 		// KmerGen-I/O: obtain the next chunk. With the prefetcher running,
@@ -127,14 +145,19 @@ func (st *taskState) kmerGenThread(s, t int, gl genLayout, owner []uint16,
 		// I/O; the serial ablation path charges the whole ReadAt here.
 		t0 := time.Now()
 		ci, buf, err := fetch.next()
-		*ioTime += time.Since(t0)
+		wait := time.Since(t0)
+		*ioTime += wait
 		if err != nil {
 			return err
 		}
 		if buf == nil {
 			break // all chunks consumed
 		}
+		obs.RecordSpan(st.rank, tid, "detail", "chunk-wait", t0, wait, nil)
 		c := &idx.Chunks[ci]
+		cBytes.Add(uint64(len(buf)))
+		cRecords.Add(uint64(c.Records))
+		cChunks.Add(1)
 
 		// KmerGen: parse records in place and enumerate tuples.
 		t0 = time.Now()
@@ -178,7 +201,9 @@ func (st *taskState) kmerGenThread(s, t int, gl genLayout, owner []uint16,
 				})
 			}
 		}
-		*genTime += time.Since(t0)
+		parse := time.Since(t0)
+		*genTime += parse
+		obs.RecordSpan(st.rank, tid, "detail", "chunk-parse", t0, parse, nil)
 		fetch.release(buf)
 	}
 

@@ -40,6 +40,7 @@ func (st *taskState) mergeCC() mergeResult {
 	// payload: 4R bytes dense, or 8 bytes per non-singleton entry sparse);
 	// receivers absorb the payload as implicit edges.
 	var mergeTime time.Duration
+	tm0 := time.Now()
 	st.t.TreeMerge(tagMerge,
 		func(dst int) (any, int) {
 			if sparse {
@@ -59,7 +60,9 @@ func (st *taskState) mergeCC() mergeResult {
 			mergeTime += time.Since(t0)
 		},
 	)
-	st.steps.MergeComm += st.t.TakeCommTime()
+	commDur := st.t.TakeCommTime()
+	st.rep.Steps.MergeComm += commDur
+	st.stepSpan("Merge-Comm", tm0, commDur)
 
 	// Rank 0 flattens, finds the largest component, and — for component
 	// splitting — the N largest roots.
@@ -74,15 +77,19 @@ func (st *taskState) mergeCC() mergeResult {
 		}
 		mergeTime += time.Since(t0)
 	}
-	st.steps.MergeCC += mergeTime
+	st.rep.Steps.MergeCC += mergeTime
+	st.stepSpan("MergeCC", tm0.Add(commDur), mergeTime)
 
 	// Broadcast the global component list (§3.6: "The global components
 	// list in Rank 0 is broadcast to all other tasks").
+	tb0 := time.Now()
 	st.t.Broadcast(tagBcast,
 		func(dst int) (any, int) { return res, 4 * len(res.labels) },
 		func(src int, payload any) { res = payload.(mergeResult) },
 	)
-	st.steps.MergeComm += st.t.TakeCommTime()
+	bcastDur := st.t.TakeCommTime()
+	st.rep.Steps.MergeComm += bcastDur
+	st.stepSpan("Merge-Comm", tb0, bcastDur)
 	return res
 }
 
@@ -150,6 +157,8 @@ func (st *taskState) writeOutput(res mergeResult) ([][]string, error) {
 		paths[g] = make([]string, T)
 	}
 	errs := make([]error, T)
+	bytesOut := make([]int64, T)
+	recsOut := make([]int64, T)
 	par.Run(T, func(t int) {
 		files := make([]*os.File, other+1)
 		writers := make([]*fastq.Writer, other+1)
@@ -190,9 +199,22 @@ func (st *taskState) writeOutput(res mergeResult) ([][]string, error) {
 				errs[t] = err
 				return
 			}
+			bytesOut[t] += w.BytesWritten()
+			recsOut[t] += w.Count()
 		}
 	})
-	st.steps.CCIO += time.Since(t0)
+	d := time.Since(t0)
+	st.rep.Steps.CCIO += d
+	st.stepSpan("CC-I/O", t0, d)
+	if st.obs != nil {
+		var b, r int64
+		for t := 0; t < T; t++ {
+			b += bytesOut[t]
+			r += recsOut[t]
+		}
+		st.counter("ccio/bytes_written").Add(uint64(b))
+		st.counter("ccio/records").Add(uint64(r))
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"metaprep/internal/obsv"
+)
+
+// TestPipelineTraceSchema runs a 2-task pipeline with a collector and checks
+// the exported trace: parseable JSON, metadata events before spans, required
+// fields on every event, and monotonically non-decreasing timestamps.
+func TestPipelineTraceSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	td := overlappingDataset(t, rng, smallOpts(), 4, 400, 160, 40)
+	cfg := Default(td.idx)
+	cfg.Tasks = 2
+	cfg.Threads = 2
+	cfg.Passes = 2
+	cfg.OutDir = t.TempDir()
+	cfg.Obs = obsv.New()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := cfg.Obs.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	lastTs := -1.0
+	seenSpan := false
+	spans := 0
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			t.Fatalf("event %d: empty name", i)
+		}
+		switch ev.Ph {
+		case "M":
+			if seenSpan {
+				t.Fatalf("event %d: metadata after span events", i)
+			}
+		case "X":
+			seenSpan = true
+			spans++
+			if ev.Ts < lastTs {
+				t.Fatalf("event %d (%s): ts %g < previous %g", i, ev.Name, ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("event %d (%s): missing or negative dur", i, ev.Name)
+			}
+		default:
+			t.Fatalf("event %d (%s): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no span events")
+	}
+}
+
+// TestTraceSpansMatchStepTimes checks the reconciliation invariant behind
+// `metaprep checktrace`: every call site records its step span with the
+// exact duration it adds to StepTimes, so the per-task sum of "step"
+// category spans equals StepTimes.Total.
+func TestTraceSpansMatchStepTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	td := overlappingDataset(t, rng, smallOpts(), 5, 300, 200, 35)
+	cfg := Default(td.idx)
+	cfg.Tasks = 3
+	cfg.Threads = 2
+	cfg.Passes = 2
+	cfg.OutDir = t.TempDir()
+	cfg.Obs = obsv.New()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sums := make(map[int]time.Duration)
+	for _, ev := range cfg.Obs.Events() {
+		if ev.Cat == "step" {
+			sums[ev.Pid] += ev.Dur
+		}
+	}
+	for _, rep := range res.PerTask {
+		if got, want := sums[rep.Rank], rep.Steps.Total(); got != want {
+			t.Errorf("task %d: step spans sum to %v, StepTimes.Total is %v", rep.Rank, got, want)
+		}
+	}
+}
+
+// TestCounterSnapshotDeterminism runs the identical configuration twice and
+// expects identical counter snapshots. Threads must be 1: with more, lost
+// union CASes (and the path splits that follow them) depend on scheduling.
+func TestCounterSnapshotDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	td := overlappingDataset(t, rng, smallOpts(), 3, 300, 120, 35)
+	snap := func() []obsv.CounterValue {
+		cfg := Default(td.idx)
+		cfg.Tasks = 2
+		cfg.Threads = 1
+		cfg.Passes = 2
+		cfg.Obs = obsv.New()
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.Obs.Counters()
+	}
+	a, b := snap(), snap()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("counter snapshots differ between identical runs:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty counter snapshot")
+	}
+}
+
+// TestRunCountObsv covers the counting pipeline's instrumentation path.
+func TestRunCountObsv(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	td := overlappingDataset(t, rng, smallOpts(), 3, 300, 100, 30)
+	cfg := Default(td.idx)
+	cfg.Tasks = 2
+	cfg.Obs = obsv.New()
+	res, err := RunCount(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make(map[int]time.Duration)
+	for _, ev := range cfg.Obs.Events() {
+		if ev.Cat == "step" {
+			sums[ev.Pid] += ev.Dur
+		}
+	}
+	if len(sums) != 2 {
+		t.Fatalf("step spans for %d tasks, want 2", len(sums))
+	}
+	var kmers uint64
+	for _, cv := range cfg.Obs.Counters() {
+		if cv.Name == "kmergen/kmers" {
+			kmers += cv.Value
+		}
+	}
+	if kmers != res.Tuples {
+		t.Errorf("kmergen/kmers counters sum to %d, result reports %d tuples", kmers, res.Tuples)
+	}
+}
+
+// BenchmarkPipelineObsv measures the full pipeline with the collector off
+// (the nil no-op default) and on — the EXPERIMENTS.md overhead table. The
+// "off" case must be indistinguishable from the pre-observability pipeline.
+func BenchmarkPipelineObsv(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	td := overlappingDataset(b, rng, smallOpts(), 4, 500, 400, 45)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := Default(td.idx)
+				cfg.Tasks = 2
+				cfg.Threads = 2
+				if mode.on {
+					cfg.Obs = obsv.New()
+				}
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

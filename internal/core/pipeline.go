@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"metaprep/internal/mpirt"
+	"metaprep/internal/obsv"
+	"metaprep/internal/radix"
 	"metaprep/internal/unionfind"
 )
 
@@ -19,30 +21,88 @@ const (
 
 // taskState is everything one simulated MPI task owns while the pipeline
 // runs: its rank, communicator endpoint, the two tuple buffers, its local
-// disjoint-set instance, open input files and per-step timers.
+// disjoint-set instance, open input files and its accounting.
 type taskState struct {
 	p    *plan
 	rank int
 	t    *mpirt.Task
+	// obs is the run's collector (nil when observability is off). It is
+	// the same pointer as p.cfg.Obs, cached for the instrumentation sites.
+	obs *obsv.Collector
 
 	out, in *tupleBuf
 	dsu     *unionfind.DSU
+	ufStats *unionfind.Stats
 	files   []*os.File
 
-	steps         StepTimes
-	tuples        uint64
-	edges         uint64
-	ccIters       int
+	// rep is this task's accounting, accumulated in place as the steps
+	// run. Steps, tuples, edges and iteration counts live only here —
+	// TaskReport is the one per-task report type, consumed by Result,
+	// the metrics snapshot and the load-balance analysis alike.
+	rep           TaskReport
 	maxChunkBytes int64
 	freqHist      [freqHistSize]uint64
+}
+
+// newTaskState wires a task's rank, communicator and collector together,
+// attaching union–find operation counting when observability is on.
+func newTaskState(pl *plan, task *mpirt.Task) *taskState {
+	st := &taskState{p: pl, rank: task.Rank(), t: task, obs: pl.cfg.Obs}
+	st.rep.Rank = st.rank
+	if st.obs != nil {
+		st.ufStats = &unionfind.Stats{}
+		st.obs.SetProcessName(st.rank, fmt.Sprintf("task %d", st.rank))
+		st.obs.SetThreadName(st.rank, obsv.TidSteps, "steps")
+		st.obs.SetThreadName(st.rank, obsv.TidComm, "mpirt comm")
+		for t := 0; t < pl.cfg.Threads; t++ {
+			st.obs.SetThreadName(st.rank, obsv.TidWorker+t, fmt.Sprintf("worker %d", t))
+			if !pl.cfg.NoPrefetch {
+				st.obs.SetThreadName(st.rank, obsv.TidPrefetch+t, fmt.Sprintf("prefetch %d", t))
+			}
+		}
+	}
+	return st
+}
+
+// stepSpan records one "step"-category span on this task's step track.
+// Every call site passes the exact duration it just added to rep.Steps —
+// including modeled network time — so the per-task sum of step spans
+// reconciles with StepTimes.Total (the `metaprep checktrace` invariant).
+func (st *taskState) stepSpan(name string, start time.Time, d time.Duration) {
+	st.obs.RecordSpan(st.rank, obsv.TidSteps, "step", name, start, d, nil)
+}
+
+// counter resolves a per-rank counter (nil, a no-op, when observability
+// is off). Hot loops resolve once and keep the pointer.
+func (st *taskState) counter(name string) *obsv.Counter {
+	return st.obs.Counter(st.rank, name)
+}
+
+// finishObs registers the end-of-run counters that fall out of the task's
+// accounting: volumes, memory and the union–find operation mix.
+func (st *taskState) finishObs() {
+	if st.obs == nil {
+		return
+	}
+	st.counter("pipeline/tuples").Add(st.rep.Tuples)
+	st.counter("pipeline/edges").Add(st.rep.Edges)
+	st.counter("pipeline/bytes_sent").Add(uint64(st.rep.BytesSent))
+	st.counter("mergecc/bytes_sent").Add(uint64(st.rep.MergeBytes))
+	st.counter("memory/planned_bytes").Add(uint64(st.rep.MemoryBytes))
+	st.counter("unionfind/finds").Add(st.ufStats.Finds.Load())
+	st.counter("unionfind/path_splits").Add(st.ufStats.PathSplits.Load())
+	st.counter("unionfind/unions").Add(st.ufStats.Unions.Load())
+	st.counter("unionfind/union_races").Add(st.ufStats.UnionRaces.Load())
 }
 
 // freqHistSize caps the k-mer frequency spectrum the pipeline collects; the
 // last bin aggregates every frequency ≥ freqHistSize-1.
 const freqHistSize = 256
 
-// TaskReport is the per-task accounting the load-balance analysis (Fig. 8)
-// consumes.
+// TaskReport is the per-task accounting: the one report type shared by
+// the pipeline's internal bookkeeping (taskState accumulates a TaskReport
+// in place), Result.PerTask, the metrics snapshot (`metaprep run
+// -metrics`) and the load-balance analysis (Fig. 8).
 type TaskReport struct {
 	Rank      int
 	Steps     StepTimes
@@ -133,6 +193,17 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	world := mpirt.NewWorld(cfg.Tasks, cfg.Network)
+	world.SetCollector(cfg.Obs)
+	if cfg.Obs != nil {
+		radix.EnablePassStats()
+		radix.TakePassStats() // discard tallies from earlier, unobserved sorts
+		defer func() {
+			ex, sk := radix.TakePassStats()
+			cfg.Obs.Counter(obsv.RankGlobal, "radix/passes_executed").Add(ex)
+			cfg.Obs.Counter(obsv.RankGlobal, "radix/passes_skipped").Add(sk)
+			radix.DisablePassStats()
+		}()
+	}
 	reports := make([]TaskReport, cfg.Tasks)
 	freqHists := make([][freqHistSize]uint64, cfg.Tasks)
 	outFiles := make([][][]string, cfg.Tasks) // [rank][group][thread]
@@ -140,14 +211,8 @@ func Run(cfg Config) (*Result, error) {
 
 	start := time.Now()
 	err = world.Run(func(task *mpirt.Task) error {
-		st := &taskState{p: pl, rank: task.Rank(), t: task}
-		defer func() {
-			for _, f := range st.files {
-				if f != nil {
-					f.Close()
-				}
-			}
-		}()
+		st := newTaskState(pl, task)
+		defer st.closeFiles()
 		files, err := openInputs(pl.idx)
 		if err != nil {
 			return err
@@ -156,6 +221,7 @@ func Run(cfg Config) (*Result, error) {
 		st.out = newTupleBuf(pl.bufTuples[st.rank], !pl.use64())
 		st.in = newTupleBuf(pl.bufTuples[st.rank], !pl.use64())
 		st.dsu = unionfind.New(int(pl.idx.Reads))
+		st.dsu.SetStats(st.ufStats)
 		for _, ci := range pl.taskChunks[st.rank] {
 			if sz := pl.idx.Chunks[ci].Size; sz > st.maxChunkBytes {
 				st.maxChunkBytes = sz
@@ -195,16 +261,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		freqHists[st.rank] = st.freqHist
-		reports[st.rank] = TaskReport{
-			Rank:        st.rank,
-			Steps:       st.steps,
-			Tuples:      st.tuples,
-			Edges:       st.edges,
-			BytesSent:   task.BytesSent(),
-			MergeBytes:  mergeBytes,
-			CCIters:     st.ccIters,
-			MemoryBytes: st.memoryBytes(),
-		}
+		st.rep.BytesSent = task.BytesSent()
+		st.rep.MergeBytes = mergeBytes
+		st.rep.MemoryBytes = st.memoryBytes()
+		st.finishObs()
+		reports[st.rank] = st.rep
 		return nil
 	})
 	if err != nil {

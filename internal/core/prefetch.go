@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"metaprep/internal/index"
+	"metaprep/internal/obsv"
 )
 
 // prefetch.go implements the per-thread chunk prefetcher behind KmerGen's
@@ -31,6 +33,11 @@ type chunkFetcher struct {
 	idx    *index.Index
 	files  []*os.File
 
+	// Tracing identity of the owning thread's prefetch track (obs may be
+	// nil; RecordSpan on a nil collector is a no-op).
+	obs      *obsv.Collector
+	pid, tid int
+
 	// Serial path state.
 	pos int
 	buf []byte
@@ -43,8 +50,9 @@ type chunkFetcher struct {
 
 // newChunkFetcher starts fetching the given chunk list. depth is the number
 // of chunks read ahead of the consumer (0 disables the reader goroutine).
-func newChunkFetcher(chunks []int, idx *index.Index, files []*os.File, depth int) *chunkFetcher {
-	f := &chunkFetcher{chunks: chunks, idx: idx, files: files}
+func newChunkFetcher(chunks []int, idx *index.Index, files []*os.File, depth int,
+	obs *obsv.Collector, pid, tid int) *chunkFetcher {
+	f := &chunkFetcher{chunks: chunks, idx: idx, files: files, obs: obs, pid: pid, tid: tid}
 	if depth <= 0 || len(chunks) < 2 {
 		return f
 	}
@@ -71,7 +79,9 @@ func (f *chunkFetcher) reader() {
 		case <-f.stop:
 			return
 		}
+		t0 := time.Now()
 		buf, err := f.readChunk(ci, buf)
+		f.obs.RecordSpan(f.pid, f.tid, "detail", "chunk-read", t0, time.Since(t0), nil)
 		select {
 		case f.filled <- fetchedChunk{ci: ci, buf: buf, err: err}:
 		case <-f.stop:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"metaprep/internal/obsv"
 	"metaprep/internal/par"
 	"metaprep/internal/unionfind"
 )
@@ -19,6 +20,7 @@ import (
 func (st *taskState) exchange(s int, gl genLayout, rl recvLayout) error {
 	t0 := time.Now()
 	var mismatch error
+	obs := st.obs
 	st.t.AllToAll(tagTuples+s,
 		func(dst int) (any, int) {
 			cnt := gl.dstCnt[dst]
@@ -26,6 +28,11 @@ func (st *taskState) exchange(s int, gl genLayout, rl recvLayout) error {
 		},
 		func(src int, payload any) {
 			got := st.in.receive(rl.srcOff[src], payload.(tupleMsg))
+			if obs != nil {
+				// Per-rank-pair volume: the Fig. 8 communication
+				// imbalance quantity, keyed on the receiving task.
+				st.counter(fmt.Sprintf("exchange/tuples[%03d->%03d]", src, st.rank)).Add(got)
+			}
 			if got != rl.srcCnt[src] && mismatch == nil {
 				mismatch = fmt.Errorf("core: task %d received %d tuples from %d, index predicts %d",
 					st.rank, got, src, rl.srcCnt[src])
@@ -37,7 +44,9 @@ func (st *taskState) exchange(s int, gl genLayout, rl recvLayout) error {
 	// reuses the buffer. (A real MPI transfer copies on the wire; this is
 	// the in-process equivalent of waiting on the sends.)
 	st.t.Barrier()
-	st.steps.KmerGenComm += time.Since(t0) + st.t.TakeCommTime()
+	d := time.Since(t0) + st.t.TakeCommTime()
+	st.rep.Steps.KmerGenComm += d
+	st.stepSpan("KmerGen-Comm", t0, d)
 	return mismatch
 }
 
@@ -51,6 +60,7 @@ func (st *taskState) localSort(s int, sl sortLayout) {
 	nr := len(sl.regionOff)
 
 	t0 := time.Now()
+	obs := st.obs
 	// Stage 1: partition. Work units are the P×T source regions of kmerIn.
 	thrCuts := binCuts(st.p.pt.ThreadCuts(s, st.rank))
 	par.For(T, nr, func(r int) {
@@ -76,6 +86,8 @@ func (st *taskState) localSort(s int, sl sortLayout) {
 			}
 		}
 	})
+	t1 := time.Now()
+	obs.RecordSpan(st.rank, obsv.TidSteps, "detail", "sort-partition", t0, t1.Sub(t0), nil)
 	// Stage 2: per-thread serial radix sort of each partition, scratch in
 	// the (now consumed) kmerIn. Each partition's bin range bounds its key
 	// range, and merHist holds its exact per-bin counts (every tuple whose
@@ -91,7 +103,10 @@ func (st *taskState) localSort(s int, sl sortLayout) {
 		}
 		st.out.sortRange(sl.partOff[d], sl.partCnt[d], kr, st.in)
 	})
-	st.steps.LocalSort += time.Since(t0)
+	obs.RecordSpan(st.rank, obsv.TidSteps, "detail", "sort-radix", t1, time.Since(t1), nil)
+	d := time.Since(t0)
+	st.rep.Steps.LocalSort += d
+	st.stepSpan("LocalSort", t0, d)
 }
 
 // binOf128 extracts the m-mer prefix bin from a packed 128-bit key.
@@ -187,11 +202,23 @@ func (st *taskState) localCC(sl sortLayout) {
 			retries[d] = buf
 		})
 	}
-	if iters > st.ccIters {
-		st.ccIters = iters
+	if iters > st.rep.CCIters {
+		st.rep.CCIters = iters
 	}
-	for _, c := range edgeCounts {
-		st.edges += c
+	st.rep.Edges += edgesOf(edgeCounts)
+	d := time.Since(t0)
+	st.rep.Steps.LocalCC += d
+	var args map[string]any
+	if st.obs != nil { // avoid the map allocation on the disabled path
+		args = map[string]any{"edges": edgesOf(edgeCounts), "iterations": iters}
 	}
-	st.steps.LocalCC += time.Since(t0)
+	st.obs.RecordSpan(st.rank, obsv.TidSteps, "step", "LocalCC", t0, d, args)
+}
+
+func edgesOf(counts []uint64) uint64 {
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	return n
 }

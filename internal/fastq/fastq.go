@@ -165,8 +165,9 @@ func clip(b []byte) []byte {
 
 // Writer buffers and writes FASTQ records.
 type Writer struct {
-	bw *bufio.Writer
-	n  int64
+	bw    *bufio.Writer
+	n     int64
+	bytes int64
 }
 
 // NewWriter returns a Writer emitting to w.
@@ -178,12 +179,18 @@ func NewWriter(w io.Writer) *Writer {
 func (w *Writer) Write(rec Record) error {
 	w.n++
 	buf := w.bw.AvailableBuffer()
-	_, err := w.bw.Write(rec.Bytes(buf))
+	n, err := w.bw.Write(rec.Bytes(buf))
+	w.bytes += int64(n)
 	return err
 }
 
 // Count returns the number of records written.
 func (w *Writer) Count() int64 { return w.n }
+
+// BytesWritten returns the serialized size of every record written so far
+// (buffered or flushed) — the CC-I/O output-volume figure the pipeline's
+// counter snapshot reports.
+func (w *Writer) BytesWritten() int64 { return w.bytes }
 
 // Flush writes any buffered data to the underlying writer.
 func (w *Writer) Flush() error { return w.bw.Flush() }

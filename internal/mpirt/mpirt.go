@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"metaprep/internal/obsv"
 )
 
 // NetworkModel describes the simulated interconnect. The zero value (or a
@@ -76,6 +78,10 @@ var ErrPeerFailed = errors.New("mpirt: aborted because a peer task failed")
 type World struct {
 	p     int
 	model *NetworkModel
+	// obs, when non-nil, records every point-to-point transfer as a trace
+	// span (category "comm", tid obsv.TidComm, pid = rank) carrying the
+	// wire size and the modeled transfer-time charge as span metadata.
+	obs *obsv.Collector
 	// chans[dst][src] carries messages from src to dst.
 	chans [][]chan message
 
@@ -133,6 +139,11 @@ func NewWorld(p int, model *NetworkModel) *World {
 // Size returns the number of tasks.
 func (w *World) Size() int { return w.p }
 
+// SetCollector attaches an observability collector to the world. Call
+// before Run; a nil collector (the default) keeps communication
+// unobserved and free of any tracing overhead.
+func (w *World) SetCollector(c *obsv.Collector) { w.obs = c }
+
 // Task is one rank's endpoint in a World. A Task must only be used by the
 // goroutine running that rank (per-task state, like the paper's per-process
 // buffers, is single-owner); its communication clock is read by the
@@ -159,25 +170,49 @@ func (t *Task) Size() int { return t.world.p }
 // model (self-sends are free). Send blocks only if dst's inbound channel
 // from this rank is full.
 func (t *Task) Send(dst, tag int, payload any, bytes int) {
+	var cost time.Duration
 	if dst != t.rank {
-		t.commTime += t.world.model.Cost(bytes)
+		cost = t.world.model.Cost(bytes)
+		t.commTime += cost
 		t.bytesSent += int64(bytes)
+	}
+	obs := t.world.obs
+	var sp obsv.Span
+	if obs != nil {
+		sp = obs.StartSpan(t.rank, obsv.TidComm, "comm", "send")
 	}
 	select {
 	case t.world.chans[dst][t.rank] <- message{tag: tag, payload: payload, bytes: bytes}:
 	case <-t.world.failed:
 		panic(worldAborted{})
 	}
+	if obs != nil {
+		// The span's wall duration is the (tiny) in-process hand-off; the
+		// simulated inter-node charge rides along as metadata so Perfetto
+		// shows both the real and the modeled cost.
+		sp.EndArgs(map[string]any{
+			"dst": dst, "tag": tag, "bytes": bytes,
+			"model_cost_us": float64(cost.Nanoseconds()) / 1e3,
+		})
+	}
 }
 
 // Recv receives the next message from src, which must carry the expected
 // tag; a tag mismatch is a protocol bug and panics. It returns the payload.
 func (t *Task) Recv(src, tag int) any {
+	obs := t.world.obs
+	var sp obsv.Span
+	if obs != nil {
+		sp = obs.StartSpan(t.rank, obsv.TidComm, "comm", "recv")
+	}
 	var m message
 	select {
 	case m = <-t.world.chans[t.rank][src]:
 	case <-t.world.failed:
 		panic(worldAborted{})
+	}
+	if obs != nil {
+		sp.EndArgs(map[string]any{"src": src, "tag": m.tag, "bytes": m.bytes})
 	}
 	if m.tag != tag {
 		panic(fmt.Sprintf("mpirt: rank %d expected tag %d from %d, got %d", t.rank, tag, src, m.tag))
@@ -274,11 +309,17 @@ func (w *World) Run(body func(t *Task) error) error {
 // its per-stage transfer costs.
 func (t *Task) AllToAll(tag int, send func(dst int) (any, int), recv func(src int, payload any)) {
 	p := t.world.p
+	obs := t.world.obs
 	for i := 0; i < p; i++ {
 		dst := (t.rank + i) % p
 		src := (t.rank - i + p) % p
 		payload, bytes := send(dst)
 		t.Send(dst, tag, payload, bytes)
+		if obs != nil {
+			// Per-stage volume: the skew across stages is the §3.3
+			// all-to-all's load-imbalance signal (cf. Fig. 8).
+			obs.Counter(t.rank, fmt.Sprintf("alltoall/stage%03d/bytes", i)).Add(uint64(bytes))
+		}
 		recv(src, t.Recv(src, tag))
 	}
 }
@@ -292,19 +333,36 @@ func (t *Task) AllToAll(tag int, send func(dst int) (any, int), recv func(src in
 // fully merged state.
 func (t *Task) TreeMerge(tag int, send func(dst int) (any, int), recv func(src int, payload any)) bool {
 	p := t.world.p
+	obs := t.world.obs
+	round := 0
 	for step := 1; step < p; step <<= 1 {
 		if t.rank&(step-1) != 0 {
 			break // dropped out in an earlier round
 		}
 		if t.rank&step != 0 {
 			dst := t.rank - step
+			var sp obsv.Span
+			if obs != nil {
+				sp = obs.StartSpan(t.rank, obsv.TidComm, "comm", "merge-round")
+			}
 			payload, bytes := send(dst)
 			t.Send(dst, tag, payload, bytes)
+			if obs != nil {
+				sp.EndArgs(map[string]any{"round": round, "role": "send", "dst": dst, "bytes": bytes})
+			}
 			return false
 		}
 		if src := t.rank + step; src < p {
+			var sp obsv.Span
+			if obs != nil {
+				sp = obs.StartSpan(t.rank, obsv.TidComm, "comm", "merge-round")
+			}
 			recv(src, t.Recv(src, tag))
+			if obs != nil {
+				sp.EndArgs(map[string]any{"round": round, "role": "recv+fold", "src": src})
+			}
 		}
+		round++
 	}
 	return t.rank == 0
 }

@@ -1,0 +1,76 @@
+package obsv
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+	"time"
+)
+
+// profile.go wires the standard Go profilers into the CLI's observability
+// flags: -cpuprofile, -memprofile and the live -pprof endpoint.
+
+// StartCPUProfile begins a CPU profile into path and returns a stop
+// function that ends the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := rpprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obsv: starting CPU profile: %w", err)
+	}
+	return func() error {
+		rpprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile runs a GC (so the profile reflects live objects, the
+// convention of `go test -memprofile`) and writes the heap profile to
+// path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := rpprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obsv: writing heap profile: %w", err)
+	}
+	return f.Close()
+}
+
+// StartPprofServer binds addr (e.g. ":6060") and serves the
+// net/http/pprof endpoints from a dedicated mux — the default mux is left
+// untouched. Bind errors are returned synchronously; the server then runs
+// until the process exits, reporting any later serve failure on the
+// returned channel. The bound address (useful with ":0") is also
+// returned.
+func StartPprofServer(addr string) (bound string, errs <-chan error, err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obsv: pprof listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	return ln.Addr().String(), errc, nil
+}

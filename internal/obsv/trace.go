@@ -1,0 +1,95 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// trace.go serializes recorded events in the Chrome trace-event JSON
+// format (the "JSON Array Format" with an object wrapper), which Perfetto
+// and chrome://tracing load directly. Timestamps and durations are
+// microseconds; sub-microsecond precision is kept as fractions.
+
+// traceEvent is the wire form of one event.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the object wrapper Perfetto accepts.
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteTrace writes every recorded event as Chrome trace-event JSON.
+// Metadata events come first, then spans sorted by ascending timestamp
+// (ties broken by pid, tid, then name), so consumers — including
+// `metaprep checktrace` — can rely on monotonically ordered timestamps.
+// A nil collector writes an empty, still-loadable trace.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	events := c.Events()
+	sort.SliceStable(events, func(i, j int) bool {
+		ei, ej := events[i], events[j]
+		im, jm := ei.Phase == phaseMeta, ej.Phase == phaseMeta
+		if im != jm {
+			return im
+		}
+		if ei.Ts != ej.Ts {
+			return ei.Ts < ej.Ts
+		}
+		if ei.Pid != ej.Pid {
+			return ei.Pid < ej.Pid
+		}
+		if ei.Tid != ej.Tid {
+			return ei.Tid < ej.Tid
+		}
+		return ei.Name < ej.Name
+	})
+
+	out := traceFile{
+		TraceEvents:     make([]traceEvent, 0, len(events)),
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"tool": "metaprep"},
+	}
+	for _, e := range events {
+		te := traceEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   e.Phase,
+			Ts:   float64(e.Ts.Nanoseconds()) / 1e3,
+			Pid:  e.Pid,
+			Tid:  e.Tid,
+			Args: e.Args,
+		}
+		if e.Phase == phaseComplete {
+			dur := float64(e.Dur.Nanoseconds()) / 1e3
+			te.Dur = &dur
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// SaveTrace writes the trace to a file.
+func (c *Collector) SaveTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -21,7 +21,53 @@
 // low-order bits the binning left unsorted.
 package radix
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Pass accounting. The key-range-aware entry points' whole value
+// proposition is the radix passes they avoid; these process-wide tallies
+// make that visible ("radix/passes_executed" vs "radix/passes_skipped" in
+// the pipeline's counter snapshot). Counting is gated behind an atomic
+// flag so the default path pays one relaxed load per sort call and the
+// per-pass loops stay untouched: each sort accumulates plain local ints
+// and publishes them once on return.
+var (
+	passStatsOn    atomic.Bool
+	passesExecuted atomic.Uint64
+	passesSkipped  atomic.Uint64
+)
+
+// EnablePassStats turns on process-wide pass counting. Concurrent
+// pipelines share the tallies; callers that want per-run numbers should
+// not run instrumented sorts concurrently with unrelated ones.
+func EnablePassStats() { passStatsOn.Store(true) }
+
+// DisablePassStats turns pass counting off again.
+func DisablePassStats() { passStatsOn.Store(false) }
+
+// TakePassStats returns the executed and skipped pass tallies accumulated
+// since the last call, resetting them.
+func TakePassStats() (executed, skipped uint64) {
+	return passesExecuted.Swap(0), passesSkipped.Swap(0)
+}
+
+// notePasses publishes one sort call's local pass tallies. "Skipped"
+// covers both the passes a range- or bin-aware entry point pruned up
+// front and the all-keys-share-this-byte passes the loops detect at run
+// time.
+func notePasses(executed, skipped int) {
+	if !passStatsOn.Load() {
+		return
+	}
+	if executed > 0 {
+		passesExecuted.Add(uint64(executed))
+	}
+	if skipped > 0 {
+		passesSkipped.Add(uint64(skipped))
+	}
+}
 
 // SignificantBytes64 returns the number of low-order 8-bit digits in which
 // keys drawn from the contiguous interval [min, max] can differ — the pass
@@ -67,6 +113,7 @@ func SortPairs64Range(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint32
 	sig := bits.Len64(min ^ max)
 	passes8 := (sig + 7) / 8
 	passes16 := (sig + 15) / 16
+	notePasses(0, 8-passes8) // pruned up front by the key interval
 	if 2*passes16 <= passes8 && n >= Digit16MinLen && n <= Digit16MaxLen {
 		SortPairs64Digit16(keys, vals, tmpK, tmpV, passes16)
 		return
@@ -78,7 +125,9 @@ func SortPairs64Range(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint32
 // pass count from the key interval and runs SortPairs128 with it.
 func SortPairs128Range(hi, lo []uint64, vals []uint32, tmpHi, tmpLo []uint64, tmpV []uint32,
 	minHi, minLo, maxHi, maxLo uint64) {
-	SortPairs128(hi, lo, vals, tmpHi, tmpLo, tmpV, SignificantBytes128(minHi, minLo, maxHi, maxLo))
+	passes := SignificantBytes128(minHi, minLo, maxHi, maxLo)
+	notePasses(0, 16-passes)
+	SortPairs128(hi, lo, vals, tmpHi, tmpLo, tmpV, passes)
 }
 
 // binnedInsertionMax is the run length below which SortPairs64Binned
@@ -124,6 +173,9 @@ func SortPairs64Binned(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint3
 		off += c
 	}
 	start[len(binCounts)] = off
+	// The count-free scatter stands in for the high-bit passes a plain
+	// LSD sort would need: one executed pass, however many bins.
+	notePasses(1, 0)
 	dstK, dstV := tmpK[:n], tmpV[:n]
 	for i, k := range keys {
 		b := int(k>>shift) - binLo
@@ -190,6 +242,7 @@ func SortPairs64(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint32, pas
 	srcK, srcV := keys, vals
 	dstK, dstV := tmpK[:n], tmpV[:n]
 	var count [256]int
+	executed, skipped := 0, 0
 	for p := 0; p < passes; p++ {
 		shift := uint(8 * p)
 		for i := range count {
@@ -200,8 +253,10 @@ func SortPairs64(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint32, pas
 		}
 		// Skip passes where all keys share this byte.
 		if count[srcK[0]>>shift&0xFF] == n {
+			skipped++
 			continue
 		}
+		executed++
 		sum := 0
 		for i := range count {
 			c := count[i]
@@ -217,6 +272,7 @@ func SortPairs64(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint32, pas
 		}
 		srcK, srcV, dstK, dstV = dstK, dstV, srcK, srcV
 	}
+	notePasses(executed, skipped)
 	if &srcK[0] != &keys[0] {
 		copy(keys, srcK)
 		copy(vals, srcV)
@@ -235,6 +291,7 @@ func SortPairs64Digit16(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint
 	srcK, srcV := keys, vals
 	dstK, dstV := tmpK[:n], tmpV[:n]
 	count := make([]int, 1<<16)
+	executed, skipped := 0, 0
 	for p := 0; p < passes; p++ {
 		shift := uint(16 * p)
 		for i := range count {
@@ -244,8 +301,10 @@ func SortPairs64Digit16(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint
 			count[k>>shift&0xFFFF]++
 		}
 		if count[srcK[0]>>shift&0xFFFF] == n {
+			skipped++
 			continue
 		}
+		executed++
 		sum := 0
 		for i := range count {
 			c := count[i]
@@ -261,6 +320,7 @@ func SortPairs64Digit16(keys []uint64, vals []uint32, tmpK []uint64, tmpV []uint
 		}
 		srcK, srcV, dstK, dstV = dstK, dstV, srcK, srcV
 	}
+	notePasses(executed, skipped)
 	if &srcK[0] != &keys[0] {
 		copy(keys, srcK)
 		copy(vals, srcV)
@@ -285,6 +345,7 @@ func SortPairs128(hi, lo []uint64, vals []uint32, tmpHi, tmpLo []uint64, tmpV []
 	srcH, srcL, srcV := hi, lo, vals
 	dstH, dstL, dstV := tmpHi[:n], tmpLo[:n], tmpV[:n]
 	var count [256]int
+	executed, skipped := 0, 0
 	for p := 0; p < passes; p++ {
 		shift := uint(8 * (p % 8))
 		word := srcL
@@ -298,8 +359,10 @@ func SortPairs128(hi, lo []uint64, vals []uint32, tmpHi, tmpLo []uint64, tmpV []
 			count[k>>shift&0xFF]++
 		}
 		if count[word[0]>>shift&0xFF] == n {
+			skipped++
 			continue
 		}
+		executed++
 		sum := 0
 		for i := range count {
 			c := count[i]
@@ -316,6 +379,7 @@ func SortPairs128(hi, lo []uint64, vals []uint32, tmpHi, tmpLo []uint64, tmpV []
 		}
 		srcH, srcL, srcV, dstH, dstL, dstV = dstH, dstL, dstV, srcH, srcL, srcV
 	}
+	notePasses(executed, skipped)
 	if &srcL[0] != &lo[0] {
 		copy(hi, srcH)
 		copy(lo, srcL)
@@ -333,6 +397,7 @@ func SortKeys64(keys, tmp []uint64, passes int) {
 	}
 	src, dst := keys, tmp[:n]
 	var count [256]int
+	executed, skipped := 0, 0
 	for p := 0; p < passes; p++ {
 		shift := uint(8 * p)
 		for i := range count {
@@ -342,8 +407,10 @@ func SortKeys64(keys, tmp []uint64, passes int) {
 			count[k>>shift&0xFF]++
 		}
 		if count[src[0]>>shift&0xFF] == n {
+			skipped++
 			continue
 		}
+		executed++
 		sum := 0
 		for i := range count {
 			c := count[i]
@@ -357,6 +424,7 @@ func SortKeys64(keys, tmp []uint64, passes int) {
 		}
 		src, dst = dst, src
 	}
+	notePasses(executed, skipped)
 	if &src[0] != &keys[0] {
 		copy(keys, src)
 	}

@@ -27,11 +27,30 @@ import (
 	"metaprep/internal/par"
 )
 
+// Stats counts DSU operations when attached with SetStats: Find calls,
+// grandparent redirects (the path-splitting writes), successful Unions
+// and lost Union CASes (the races Algorithm 1 re-verifies). The counters
+// are atomics shared by every thread touching the DSU, so enabling them
+// perturbs the very contention they measure — they are an observability
+// opt-in, not an always-on feature; a detached DSU pays one predictable
+// nil-check branch per operation.
+type Stats struct {
+	Finds      atomic.Uint64
+	PathSplits atomic.Uint64
+	Unions     atomic.Uint64
+	UnionRaces atomic.Uint64
+}
+
 // DSU is a concurrent disjoint-set (union–find) structure over the vertex
 // set {0, …, n-1}. Vertices are reads in the pipeline's read graph.
 type DSU struct {
 	parent []uint32
+	stats  *Stats
 }
+
+// SetStats attaches an operation-count recorder (nil detaches). Attach
+// before concurrent use; the pointer itself is not synchronized.
+func (d *DSU) SetStats(s *Stats) { d.stats = s }
 
 // New returns a DSU with every vertex its own component root.
 func New(n int) *DSU {
@@ -48,6 +67,10 @@ func (d *DSU) Len() int { return len(d.parent) }
 // Find returns the root of x's component, applying path splitting along the
 // way. It is safe to call concurrently with other Find and Union calls.
 func (d *DSU) Find(x uint32) uint32 {
+	s := d.stats
+	if s != nil {
+		s.Finds.Add(1)
+	}
 	for {
 		p := atomic.LoadUint32(&d.parent[x])
 		if p == x {
@@ -60,6 +83,9 @@ func (d *DSU) Find(x uint32) uint32 {
 		// Path splitting: point x at its grandparent. A lost CAS just means
 		// another thread improved the path first.
 		atomic.CompareAndSwapUint32(&d.parent[x], p, gp)
+		if s != nil {
+			s.PathSplits.Add(1)
+		}
 		x = gp
 	}
 }
@@ -76,7 +102,15 @@ func (d *DSU) Union(ru, rv uint32) bool {
 	if ru > rv {
 		ru, rv = rv, ru
 	}
-	return atomic.CompareAndSwapUint32(&d.parent[ru], ru, rv)
+	ok := atomic.CompareAndSwapUint32(&d.parent[ru], ru, rv)
+	if s := d.stats; s != nil {
+		if ok {
+			s.Unions.Add(1)
+		} else {
+			s.UnionRaces.Add(1)
+		}
+	}
+	return ok
 }
 
 // Connect processes one edge (u, v) following Algorithm 1's loop body: find

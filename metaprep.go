@@ -43,6 +43,7 @@ import (
 	"metaprep/internal/kmc"
 	"metaprep/internal/model"
 	"metaprep/internal/mpirt"
+	"metaprep/internal/obsv"
 	"metaprep/internal/simulate"
 )
 
@@ -121,6 +122,20 @@ func LoadLabels(path string) ([]uint32, error) { return core.LoadLabels(path) }
 
 // EdisonNetwork models the interconnect of the paper's evaluation machine.
 func EdisonNetwork() *NetworkModel { return mpirt.EdisonNetwork() }
+
+// Observability (spans, counters, trace export).
+type (
+	// Collector gathers per-step spans and typed counters during a run.
+	// Assign one to Config.Obs, then export with SaveTrace / Counters /
+	// CountersTable after Partition returns. A nil Config.Obs keeps the
+	// pipeline's hot path entirely free of observability overhead.
+	Collector = obsv.Collector
+	// CounterValue is one row of a counter snapshot.
+	CounterValue = obsv.CounterValue
+)
+
+// NewCollector returns an empty, enabled Collector.
+func NewCollector() *Collector { return obsv.New() }
 
 // Synthetic data (the Table 2 stand-ins).
 type (
