@@ -138,6 +138,11 @@ func cmdRun(args []string) error {
 	if *edisonNet {
 		cfg.Network = metaprep.EdisonNetwork()
 	}
+	// Fail fast with the typed validation message (field + reason) before
+	// loading data or starting profiling.
+	if err := metaprep.ValidateConfig(cfg); err != nil {
+		return err
+	}
 	var obs *metaprep.Collector
 	if *tracePath != "" || *metricsPath != "" || *countersPath != "" {
 		obs = metaprep.NewCollector()

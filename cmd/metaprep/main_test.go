@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -55,6 +56,14 @@ func TestCLIIndexRunStats(t *testing.T) {
 
 	if err := cmdStats([]string{"-index", idxPath}); err != nil {
 		t.Fatalf("stats: %v", err)
+	}
+
+	// Invalid configurations fail fast with the typed validation error.
+	if err := cmdRun([]string{"-index", idxPath, "-tasks", "0"}); !errors.Is(err, metaprep.ErrInvalidConfig) {
+		t.Errorf("run -tasks 0: err = %v, want ErrInvalidConfig", err)
+	}
+	if err := cmdRun([]string{"-index", idxPath, "-kf-min", "9", "-kf-max", "3"}); !errors.Is(err, metaprep.ErrInvalidConfig) {
+		t.Errorf("run with inverted filter: err = %v, want ErrInvalidConfig", err)
 	}
 }
 

@@ -1,0 +1,123 @@
+// Command metaprepd runs the METAPREP pipeline as a resident service: a
+// partition-as-a-service daemon with a bounded job queue, a worker pool, a
+// content-addressed result cache and cancellation.
+//
+//	metaprepd -addr :8077 -workers 2 -queue 16
+//
+// Submit work by POSTing a JSON body naming an index file built with
+// `metaprep index`:
+//
+//	curl -s localhost:8077/jobs -d '{"index":"ds.idx","tasks":2,"threads":2}'
+//
+// then poll /jobs/{id}, stream /jobs/{id}/events (SSE), fetch
+// /jobs/{id}/result, or POST /jobs/{id}/cancel. /healthz, /readyz,
+// /metrics and /debug/pprof serve operations.
+//
+// On SIGTERM (or SIGINT) the daemon drains gracefully: readiness flips to
+// 503, new submissions are rejected, and running jobs finish before the
+// process exits — up to -drain-timeout, after which running jobs are
+// hard-cancelled through the pipeline's context propagation. A second
+// signal forces immediate shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"metaprep/internal/jobs"
+	"metaprep/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "metaprepd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, split from main for testing: args are the command
+// line, and sigc (created and signal.Notify-ed when nil) delivers the
+// shutdown signals.
+func run(args []string, sigc chan os.Signal) error {
+	fs := flag.NewFlagSet("metaprepd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8077", "listen address")
+	workers := fs.Int("workers", 1, "concurrent pipeline runs")
+	queue := fs.Int("queue", 16, "submission queue capacity (admission control bound)")
+	cacheCap := fs.Int("cache", 64, "result cache capacity in entries (-1 disables)")
+	retries := fs.Int("retries", 2, "retries for transient job failures")
+	progress := fs.Duration("progress", 200*time.Millisecond, "SSE progress snapshot interval")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	mgr := jobs.NewManager(jobs.Options{
+		Workers:  *workers,
+		QueueCap: *queue,
+		CacheCap: *cacheCap,
+		Retries:  *retries,
+	})
+	srv := server.New(mgr, server.Options{ProgressInterval: *progress})
+	httpSrv := &http.Server{Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("metaprepd: listening on %s (workers=%d queue=%d cache=%d)",
+			ln.Addr(), *workers, *queue, *cacheCap)
+		errc <- httpSrv.Serve(ln)
+	}()
+
+	if sigc == nil {
+		sigc = make(chan os.Signal, 2)
+		signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	}
+	select {
+	case sig := <-sigc:
+		log.Printf("metaprepd: %v — draining (readyz now 503; running jobs finish, max %s)",
+			sig, *drainTimeout)
+		go func() {
+			<-sigc
+			log.Printf("metaprepd: second signal — forcing shutdown")
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("metaprepd: drain timed out (%v) — cancelling remaining jobs", err)
+			mgr.Stop()
+			waitCtx, waitCancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer waitCancel()
+			if err := mgr.Drain(waitCtx); err != nil {
+				log.Printf("metaprepd: jobs did not stop: %v", err)
+			}
+		}
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutCancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("metaprepd: http shutdown: %v", err)
+		}
+		log.Printf("metaprepd: drained, exiting")
+		return nil
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

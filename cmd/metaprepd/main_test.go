@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"metaprep"
+	"metaprep/internal/index"
+)
+
+// freeAddr reserves then releases a loopback port for the daemon to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// buildIndexFile generates a small dataset and saves its index.
+func buildIndexFile(t *testing.T, dir string) string {
+	t.Helper()
+	spec, err := metaprep.Preset("HG", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := metaprep.Generate(spec, filepath.Join(dir, "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(ds.Files, index.Options{K: 27, M: 10, ChunkSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ds.idx")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDaemonLifecycle boots the daemon, submits a job over HTTP, waits for
+// completion, then delivers SIGTERM and expects a graceful drain.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	idxPath := buildIndexFile(t, dir)
+	addr := freeAddr(t)
+
+	sigc := make(chan os.Signal, 2)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-workers", "2", "-progress", "20ms"}, sigc)
+	}()
+
+	base := "http://" + addr
+	// Wait for the listener.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	body := fmt.Sprintf(`{"index": %q, "tasks": 2, "threads": 2}`, idxPath)
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poll to completion.
+	for {
+		resp, err := http.Get(base + "/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job ended %s", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	sigc <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}
+
+func TestDaemonBadInvocation(t *testing.T) {
+	if err := run([]string{"-bogus-flag"}, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"trailing"}, nil); err == nil {
+		t.Error("positional arguments accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, nil); err == nil {
+		t.Error("unbindable address accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chunkCancelCtx is a context.Context that cancels itself after its Err
+// method has been polled a fixed number of times. The pipeline polls ctx.Err
+// at every KmerGen chunk boundary, so a small limit deterministically places
+// the cancellation in the middle of KmerGen — no sleeps, no timing races.
+type chunkCancelCtx struct {
+	limit int
+
+	mu        sync.Mutex
+	calls     int
+	flippedAt time.Time
+	done      chan struct{}
+}
+
+func newChunkCancelCtx(limit int) *chunkCancelCtx {
+	return &chunkCancelCtx{limit: limit, done: make(chan struct{})}
+}
+
+func (c *chunkCancelCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *chunkCancelCtx) Done() <-chan struct{}       { return c.done }
+func (c *chunkCancelCtx) Value(key any) any           { return nil }
+
+func (c *chunkCancelCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.calls >= c.limit && c.flippedAt.IsZero() {
+		c.flippedAt = time.Now()
+		close(c.done)
+	}
+	if !c.flippedAt.IsZero() {
+		return context.Canceled
+	}
+	return nil
+}
+
+// cancelledAt reports when the context flipped to cancelled (zero if never).
+func (c *chunkCancelCtx) cancelledAt() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flippedAt
+}
+
+// waitGoroutines polls until the goroutine count settles back to at most
+// base+slack, failing the test if it does not within the deadline.
+func waitGoroutines(t *testing.T, base, slack int, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(end) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak after cancel: %d goroutines (started with %d)\n%s",
+				n, base, buf)
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunContextCancelMidKmerGen cancels a multi-task run at a KmerGen chunk
+// boundary and checks that RunContext returns context.Canceled promptly and
+// that every pipeline goroutine (rank bodies, prefetchers, the mpirt context
+// watcher) exits. Run under -race this also shakes out unsynchronized
+// shutdown paths.
+func TestRunContextCancelMidKmerGen(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	td := overlappingDataset(t, rng, smallOpts(), 4, 400, 300, 40)
+
+	base := runtime.NumGoroutine()
+	cfg := Default(td.idx)
+	cfg.Tasks = 2
+	cfg.Threads = 2
+
+	ctx := newChunkCancelCtx(3)
+	res, err := RunContext(ctx, cfg)
+	returned := time.Now()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext after mid-KmerGen cancel: err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("RunContext returned a result alongside cancellation")
+	}
+	flipped := ctx.cancelledAt()
+	if flipped.IsZero() {
+		t.Fatalf("context never flipped: the run finished before %d chunk polls", ctx.limit)
+	}
+	if lat := returned.Sub(flipped); lat > time.Second {
+		t.Fatalf("cancellation latency %v, want <= 1s", lat)
+	}
+	waitGoroutines(t, base, 2, 5*time.Second)
+}
+
+// TestRunContextPreCancelled checks that an already-cancelled context fails
+// fast without partially running the pipeline.
+func TestRunContextPreCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	td := genDataset(t, rng, smallOpts(), 1, 30, 40)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Default(td.idx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext with pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextUncancelled checks that threading a live context through the
+// pipeline changes nothing: the run completes and matches Run.
+func TestRunContextUncancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	td := overlappingDataset(t, rng, smallOpts(), 3, 300, 120, 40)
+	cfg := Default(td.idx)
+	cfg.Tasks = 2
+
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Labels) != len(want.Labels) {
+		t.Fatalf("label count mismatch: %d vs %d", len(got.Labels), len(want.Labels))
+	}
+	for i := range got.Labels {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("labels diverge at read %d: %d vs %d", i, got.Labels[i], want.Labels[i])
+		}
+	}
+}

@@ -10,10 +10,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"metaprep/internal/index"
+	"metaprep/internal/kmer"
 	"metaprep/internal/mpirt"
 	"metaprep/internal/obsv"
 )
@@ -126,26 +128,66 @@ func Default(idx *index.Index) Config {
 	return Config{Index: idx, Tasks: 1, Threads: 1, Passes: 1, CCOpt: true}
 }
 
-// Validate checks configuration invariants.
+// ErrInvalidConfig is the sentinel every Config validation error wraps, so
+// callers (the CLI, the job service's 400 path) can classify a bad
+// configuration with a single errors.Is instead of pattern-matching
+// messages.
+var ErrInvalidConfig = errors.New("core: invalid config")
+
+// ConfigError is a typed validation failure: the offending field plus a
+// human-readable reason. It wraps ErrInvalidConfig (errors.Is matches) so a
+// service can reject the job with a clean 400 instead of panicking deep in
+// the pipeline.
+type ConfigError struct {
+	// Field names the Config (or embedded IndexOptions) field that failed.
+	Field string
+	// Reason describes the violated invariant.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+// Unwrap ties every ConfigError to the ErrInvalidConfig sentinel.
+func (e *ConfigError) Unwrap() error { return ErrInvalidConfig }
+
+// Validate checks configuration invariants. Every failure is returned as a
+// *ConfigError wrapping ErrInvalidConfig.
 func (c Config) Validate() error {
 	if c.Index == nil {
-		return fmt.Errorf("core: nil index")
+		return &ConfigError{Field: "Index", Reason: "nil index"}
 	}
-	if err := c.Index.Opts.Validate(); err != nil {
-		return err
+	opts := c.Index.Opts
+	if err := kmer.CheckK128(opts.K); err != nil {
+		return &ConfigError{Field: "Index.Opts.K",
+			Reason: fmt.Sprintf("k=%d out of range for the 64/128-bit k-mer paths (1..%d)", opts.K, kmer.MaxK128)}
 	}
-	if c.Tasks < 1 || c.Threads < 1 || c.Passes < 1 {
-		return fmt.Errorf("core: Tasks=%d Threads=%d Passes=%d must all be ≥ 1",
-			c.Tasks, c.Threads, c.Passes)
+	if opts.M >= opts.K {
+		return &ConfigError{Field: "Index.Opts.M",
+			Reason: fmt.Sprintf("m=%d ≥ k=%d: the m-mer prefix must be shorter than the k-mer", opts.M, opts.K)}
+	}
+	if err := opts.Validate(); err != nil {
+		return &ConfigError{Field: "Index.Opts", Reason: err.Error()}
+	}
+	if c.Tasks < 1 {
+		return &ConfigError{Field: "Tasks", Reason: fmt.Sprintf("%d < 1", c.Tasks)}
+	}
+	if c.Threads < 1 {
+		return &ConfigError{Field: "Threads", Reason: fmt.Sprintf("%d < 1", c.Threads)}
+	}
+	if c.Passes < 1 {
+		return &ConfigError{Field: "Passes", Reason: fmt.Sprintf("%d < 1", c.Passes)}
 	}
 	if c.Filter.Min > 0 && c.Filter.Max > 0 && c.Filter.Min > c.Filter.Max {
-		return fmt.Errorf("core: filter min %d > max %d", c.Filter.Min, c.Filter.Max)
+		return &ConfigError{Field: "Filter",
+			Reason: fmt.Sprintf("min %d > max %d", c.Filter.Min, c.Filter.Max)}
 	}
 	if c.SplitComponents < 0 {
-		return fmt.Errorf("core: SplitComponents %d < 0", c.SplitComponents)
+		return &ConfigError{Field: "SplitComponents", Reason: fmt.Sprintf("%d < 0", c.SplitComponents)}
 	}
 	if c.PrefetchChunks < 0 {
-		return fmt.Errorf("core: PrefetchChunks %d < 0", c.PrefetchChunks)
+		return &ConfigError{Field: "PrefetchChunks", Reason: fmt.Sprintf("%d < 0", c.PrefetchChunks)}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"metaprep/internal/mpirt"
@@ -65,6 +66,13 @@ type taskCounts struct {
 // SplitComponents fields of cfg are ignored; everything else (tasks,
 // threads, passes, network model, ablation flags) applies as in Run.
 func RunCount(cfg Config) (*CountResult, error) {
+	return RunCountContext(context.Background(), cfg)
+}
+
+// RunCountContext is RunCount with cancellation, with the same semantics as
+// RunContext: ctx is polled at chunk and pass boundaries and blocked ranks
+// are aborted through the runtime.
+func RunCountContext(ctx context.Context, cfg Config) (*CountResult, error) {
 	cfg.CCOpt = false // no DSU exists; tuple values stay read IDs
 	pl, err := newPlan(cfg)
 	if err != nil {
@@ -90,8 +98,8 @@ func RunCount(cfg Config) (*CountResult, error) {
 	reports := make([]TaskReport, cfg.Tasks)
 
 	start := time.Now()
-	err = world.Run(func(task *mpirt.Task) error {
-		st := newTaskState(pl, task)
+	err = world.RunContext(ctx, func(task *mpirt.Task) error {
+		st := newTaskState(ctx, pl, task)
 		defer st.closeFiles()
 		files, err := openInputs(pl.idx)
 		if err != nil {

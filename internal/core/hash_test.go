@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"metaprep/internal/index"
+	"metaprep/internal/mpirt"
+	"metaprep/internal/obsv"
+)
+
+// TestCanonicalHashGolden pins the exact canonical encoding. If this test
+// fails because the encoding legitimately changed, bump canonicalHashVersion
+// and re-pin — never let old cached results alias the new scheme silently.
+func TestCanonicalHashGolden(t *testing.T) {
+	def := Config{Tasks: 1, Threads: 1, Passes: 1, CCOpt: true}
+	const wantDef = "835967aa72f787ec14092081b0bd4479b66dc020ccf29ea0b17688a3a702ac8a"
+	if got := def.CanonicalHash(); got != wantDef {
+		t.Errorf("CanonicalHash(default) = %s, want %s", got, wantDef)
+	}
+
+	full := Config{
+		Tasks:           4,
+		Threads:         8,
+		Passes:          2,
+		Filter:          Filter{Min: 2, Max: 1000},
+		CCOpt:           true,
+		SparseMerge:     true,
+		SplitComponents: 3,
+		OutDir:          "out",
+		PrefetchChunks:  4,
+		DynamicOffsets:  true,
+		NoVectorKmerGen: true,
+		Network:         &mpirt.NetworkModel{Latency: time.Microsecond, BandwidthBytesPerSec: 8e9},
+	}
+	const wantFull = "6cc7229900846fd5a65f8dbb795d87adb0933760442cbb813409ac60b5147b8f"
+	if got := full.CanonicalHash(); got != wantFull {
+		t.Errorf("CanonicalHash(full) = %s, want %s", got, wantFull)
+	}
+}
+
+// TestCanonicalHashEquivalentSpellings checks that semantically-identical
+// configs hash identically: zero values vs spelled-out defaults, nil vs
+// zero network model, and the excluded Index/Obs fields.
+func TestCanonicalHashEquivalentSpellings(t *testing.T) {
+	base := Config{Tasks: 2, Threads: 2, Passes: 1, CCOpt: true}
+	want := base.CanonicalHash()
+
+	// PrefetchChunks 0 and 1 both mean double buffering.
+	spelled := base
+	spelled.PrefetchChunks = 1
+	if got := spelled.CanonicalHash(); got != want {
+		t.Errorf("PrefetchChunks 0 vs 1 hash differently: %s vs %s", want, got)
+	}
+
+	// A nil and a zero NetworkModel both mean free communication.
+	zeroNet := base
+	zeroNet.Network = &mpirt.NetworkModel{}
+	if got := zeroNet.CanonicalHash(); got != want {
+		t.Errorf("nil vs zero NetworkModel hash differently: %s vs %s", want, got)
+	}
+
+	// With prefetch ablated, the configured depth is irrelevant.
+	noPre := base
+	noPre.NoPrefetch = true
+	noPre.PrefetchChunks = 7
+	noPre2 := base
+	noPre2.NoPrefetch = true
+	if noPre.CanonicalHash() != noPre2.CanonicalHash() {
+		t.Errorf("NoPrefetch configs with different depths hash differently")
+	}
+	if noPre.CanonicalHash() == want {
+		t.Errorf("NoPrefetch did not change the hash")
+	}
+
+	// The Index pointer and the Obs collector are not run-defining: the
+	// index is the other half of the cache key, observability never
+	// changes results.
+	withIdx := base
+	withIdx.Index = &index.Index{Opts: index.Options{K: 27, M: 10}}
+	withIdx.Obs = obsv.New()
+	if got := withIdx.CanonicalHash(); got != want {
+		t.Errorf("Index/Obs leaked into the hash: %s vs %s", want, got)
+	}
+}
+
+// TestCanonicalHashSensitivity checks that every run-defining field
+// perturbs the hash, and that all perturbations are mutually distinct.
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := Config{Tasks: 2, Threads: 2, Passes: 1, CCOpt: true}
+	mutations := map[string]func(*Config){
+		"tasks":             func(c *Config) { c.Tasks = 3 },
+		"threads":           func(c *Config) { c.Threads = 4 },
+		"passes":            func(c *Config) { c.Passes = 2 },
+		"filter.min":        func(c *Config) { c.Filter.Min = 2 },
+		"filter.max":        func(c *Config) { c.Filter.Max = 50 },
+		"ccopt":             func(c *Config) { c.CCOpt = false },
+		"sparse_merge":      func(c *Config) { c.SparseMerge = true },
+		"split_components":  func(c *Config) { c.SplitComponents = 2 },
+		"out_dir":           func(c *Config) { c.OutDir = "d" },
+		"prefetch_depth":    func(c *Config) { c.PrefetchChunks = 3 },
+		"dynamic_offsets":   func(c *Config) { c.DynamicOffsets = true },
+		"no_vector_kmergen": func(c *Config) { c.NoVectorKmerGen = true },
+		"network": func(c *Config) {
+			c.Network = &mpirt.NetworkModel{Latency: time.Microsecond, BandwidthBytesPerSec: 1e9}
+		},
+	}
+	seen := map[string]string{base.CanonicalHash(): "base"}
+	for name, mutate := range mutations {
+		c := base
+		mutate(&c)
+		h := c.CanonicalHash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[h] = name
+	}
+}

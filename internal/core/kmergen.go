@@ -140,6 +140,12 @@ func (st *taskState) kmerGenThread(s, t int, gl genLayout, owner []uint16,
 		obs, st.rank, obsv.TidPrefetch+t)
 	defer fetch.close()
 	for {
+		// Cancellation boundary: one check per chunk keeps a cancelled run's
+		// response time bounded by a single chunk's enumeration, without
+		// touching the per-record hot loop.
+		if err := st.ctx.Err(); err != nil {
+			return err
+		}
 		// KmerGen-I/O: obtain the next chunk. With the prefetcher running,
 		// only the time spent *waiting* on an unfinished read is exposed
 		// I/O; the serial ablation path charges the whole ReadAt here.

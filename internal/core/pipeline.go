@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -26,6 +27,10 @@ type taskState struct {
 	p    *plan
 	rank int
 	t    *mpirt.Task
+	// ctx is the run's cancellation context. Long compute phases poll it at
+	// chunk and step boundaries; blocked communication is woken through the
+	// world's abort propagation instead.
+	ctx context.Context
 	// obs is the run's collector (nil when observability is off). It is
 	// the same pointer as p.cfg.Obs, cached for the instrumentation sites.
 	obs *obsv.Collector
@@ -46,8 +51,8 @@ type taskState struct {
 
 // newTaskState wires a task's rank, communicator and collector together,
 // attaching union–find operation counting when observability is on.
-func newTaskState(pl *plan, task *mpirt.Task) *taskState {
-	st := &taskState{p: pl, rank: task.Rank(), t: task, obs: pl.cfg.Obs}
+func newTaskState(ctx context.Context, pl *plan, task *mpirt.Task) *taskState {
+	st := &taskState{p: pl, rank: task.Rank(), t: task, ctx: ctx, obs: pl.cfg.Obs}
 	st.rep.Rank = st.rank
 	if st.obs != nil {
 		st.ufStats = &unionfind.Stats{}
@@ -182,6 +187,14 @@ func (r *Result) ComponentSizes() map[uint32]int {
 
 // Run executes the full METAPREP pipeline under the given configuration.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled or times out,
+// compute phases stop at the next chunk or step boundary, blocked ranks are
+// woken through mpirt's abort propagation, and RunContext returns ctx.Err()
+// with no goroutines left behind (TestRunContextCancelMidKmerGen).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	pl, err := newPlan(cfg)
 	if err != nil {
 		return nil, err
@@ -210,8 +223,8 @@ func Run(cfg Config) (*Result, error) {
 	var final mergeResult
 
 	start := time.Now()
-	err = world.Run(func(task *mpirt.Task) error {
-		st := newTaskState(pl, task)
+	err = world.RunContext(ctx, func(task *mpirt.Task) error {
+		st := newTaskState(ctx, pl, task)
 		defer st.closeFiles()
 		files, err := openInputs(pl.idx)
 		if err != nil {
@@ -240,6 +253,9 @@ func Run(cfg Config) (*Result, error) {
 			sl := pl.sortLayout(s, st.rank, rl)
 			st.localSort(s, sl)
 			st.localCC(sl)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			// Keep passes in lockstep so a fast task cannot start enumerating
 			// pass s+1 component IDs while peers still union pass s edges
 			// (§3.5.1 requires the local DSU to be quiescent at enumeration).
@@ -253,6 +269,9 @@ func Run(cfg Config) (*Result, error) {
 			final = res
 		}
 		if cfg.OutDir != "" {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			paths, err := st.writeOutput(res)
 			if err != nil {
 				return err

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"metaprep/internal/index"
+	"metaprep/internal/kmer"
+)
+
+// validatableConfig returns a config over a synthetic in-memory index that
+// passes Validate, for tests to break one field at a time. No dataset is
+// needed: Validate only inspects the index options.
+func validatableConfig() Config {
+	idx := &index.Index{Opts: index.Options{K: 27, M: 10, ChunkSize: 1 << 20}}
+	return Default(idx)
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cfg := validatableConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate() on a well-formed config: %v", err)
+	}
+	cfg.Tasks, cfg.Threads, cfg.Passes = 4, 8, 3
+	cfg.Filter = Filter{Min: 2, Max: 100}
+	cfg.PrefetchChunks = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate() with explicit fields: %v", err)
+	}
+	// k up to the 128-bit ceiling is in range.
+	cfg.Index = &index.Index{Opts: index.Options{K: kmer.MaxK128, M: 10, ChunkSize: 1 << 20}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate() at k=MaxK128: %v", err)
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+	}{
+		{"nil index", func(c *Config) { c.Index = nil }, "Index"},
+		{"k zero", func(c *Config) { c.Index.Opts.K = 0 }, "Index.Opts.K"},
+		{"k beyond 128-bit path", func(c *Config) { c.Index.Opts.K = kmer.MaxK128 + 1 }, "Index.Opts.K"},
+		{"m equals k", func(c *Config) { c.Index.Opts.M = c.Index.Opts.K }, "Index.Opts.M"},
+		{"m exceeds k", func(c *Config) { c.Index.Opts.M = c.Index.Opts.K + 3 }, "Index.Opts.M"},
+		{"tasks zero", func(c *Config) { c.Tasks = 0 }, "Tasks"},
+		{"threads negative", func(c *Config) { c.Threads = -2 }, "Threads"},
+		{"passes zero", func(c *Config) { c.Passes = 0 }, "Passes"},
+		{"filter inverted", func(c *Config) { c.Filter = Filter{Min: 9, Max: 3} }, "Filter"},
+		{"split components negative", func(c *Config) { c.SplitComponents = -1 }, "SplitComponents"},
+		{"prefetch negative", func(c *Config) { c.PrefetchChunks = -1 }, "PrefetchChunks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validatableConfig()
+			// Copy the index so mutations don't leak across subtests.
+			if cfg.Index != nil {
+				idx := *cfg.Index
+				cfg.Index = &idx
+			}
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate() accepted an invalid config")
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("errors.Is(err, ErrInvalidConfig) = false for %v", err)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("errors.As(*ConfigError) = false for %v", err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("ConfigError.Field = %q, want %q (err: %v)", ce.Field, tc.field, err)
+			}
+			if !strings.Contains(err.Error(), tc.field) {
+				t.Fatalf("error text %q does not mention field %q", err.Error(), tc.field)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalidConfig checks the pipeline entry point surfaces the
+// typed error rather than crashing downstream.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := validatableConfig()
+	cfg.Tasks = 0
+	if _, err := Run(cfg); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Run() with Tasks=0: err = %v, want ErrInvalidConfig", err)
+	}
+}

@@ -1,0 +1,66 @@
+package index
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"path/filepath"
+)
+
+// digest.go computes a stable content digest of an index — the dataset half
+// of the job service's result-cache key. Two indexes built from the same
+// inputs with the same options digest identically; any change to the data
+// (and therefore to the chunk table or histogram) changes the digest.
+
+// digestVersion is bumped whenever the digested fields change, so stale
+// cache entries can never alias new ones.
+const digestVersion = 1
+
+// Digest returns a stable hex digest of the index's content: the build
+// options, the input file base names (base names, not absolute paths, so
+// relocating a dataset does not invalidate cached results — content
+// changes are caught by the chunk table and histogram, which cover every
+// record boundary and every canonical k-mer), the chunk table's location
+// fields and the global m-mer histogram.
+func (idx *Index) Digest() string {
+	h := sha256.New()
+	le := binary.LittleEndian
+	var buf [8]byte
+	wu64 := func(v uint64) { le.PutUint64(buf[:], v); h.Write(buf[:]) }
+	wi64 := func(v int64) { wu64(uint64(v)) }
+	wbool := func(v bool) {
+		if v {
+			wu64(1)
+		} else {
+			wu64(0)
+		}
+	}
+	wu64(digestVersion)
+	wi64(int64(idx.Opts.K))
+	wi64(int64(idx.Opts.M))
+	wi64(idx.Opts.ChunkSize)
+	wbool(idx.Opts.Paired)
+	wbool(idx.Opts.MatePairs)
+	wi64(int64(len(idx.Files)))
+	for _, path := range idx.Files {
+		fmt.Fprintf(h, "%s\n", filepath.Base(path))
+	}
+	wu64(uint64(idx.Reads))
+	wi64(idx.Records)
+	wi64(idx.TotalBases)
+	wu64(idx.TotalKmers)
+	wi64(int64(len(idx.Chunks)))
+	for ci := range idx.Chunks {
+		c := &idx.Chunks[ci]
+		wi64(int64(c.File))
+		wi64(c.Offset)
+		wi64(c.Size)
+		wu64(uint64(c.FirstRead))
+		wi64(int64(c.Records))
+	}
+	for _, v := range idx.MerHist {
+		wu64(v)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

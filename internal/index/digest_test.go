@@ -1,0 +1,150 @@
+package index
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// syntheticIndex builds an Index struct literal (no files on disk) so the
+// golden digest cannot depend on temp-dir paths or build machinery.
+func syntheticIndex() *Index {
+	return &Index{
+		Opts:  Options{K: 27, M: 10, ChunkSize: 4096, Paired: true},
+		Files: []string{"/data/run1/sample_1.fastq", "/data/run1/sample_2.fastq"},
+		MerHist: func() []uint64 {
+			h := make([]uint64, 16)
+			for i := range h {
+				h[i] = uint64(i * 7)
+			}
+			return h
+		}(),
+		Chunks: []Chunk{
+			{File: 0, Offset: 0, Size: 4000, FirstRead: 0, Records: 40},
+			{File: 1, Offset: 0, Size: 3900, FirstRead: 20, Records: 40},
+		},
+		Reads:      40,
+		Records:    80,
+		TotalBases: 8000,
+		TotalKmers: 5920,
+	}
+}
+
+// TestDigestGolden pins the exact digest encoding. If this fails because
+// the encoding legitimately changed, bump digestVersion and re-pin.
+func TestDigestGolden(t *testing.T) {
+	const want = "f8980f34f05386e1881e52954c9496918a4318c2f0372dbd29310e441c36862f"
+	if got := syntheticIndex().Digest(); got != want {
+		t.Errorf("Digest() = %s, want %s", got, want)
+	}
+}
+
+// TestDigestIgnoresFileDirectories checks that relocating a dataset (same
+// base names, different directories) leaves the digest unchanged, and that
+// renaming a file changes it.
+func TestDigestIgnoresFileDirectories(t *testing.T) {
+	a := syntheticIndex()
+	b := syntheticIndex()
+	b.Files = []string{"sample_1.fastq", "elsewhere/sample_2.fastq"}
+	if a.Digest() != b.Digest() {
+		t.Errorf("digest depends on file directories")
+	}
+	c := syntheticIndex()
+	c.Files[0] = "/data/run1/other_1.fastq"
+	if a.Digest() == c.Digest() {
+		t.Errorf("digest ignored a file rename")
+	}
+}
+
+// TestDigestSensitivity checks that each content field perturbs the digest.
+func TestDigestSensitivity(t *testing.T) {
+	base := syntheticIndex().Digest()
+	mutations := map[string]func(*Index){
+		"k":                func(i *Index) { i.Opts.K = 31 },
+		"m":                func(i *Index) { i.Opts.M = 8 },
+		"chunk size":       func(i *Index) { i.Opts.ChunkSize = 8192 },
+		"paired":           func(i *Index) { i.Opts.Paired = false },
+		"reads":            func(i *Index) { i.Reads = 41 },
+		"records":          func(i *Index) { i.Records = 81 },
+		"total bases":      func(i *Index) { i.TotalBases = 8001 },
+		"total kmers":      func(i *Index) { i.TotalKmers = 5921 },
+		"chunk size field": func(i *Index) { i.Chunks[1].Size = 3901 },
+		"chunk offset":     func(i *Index) { i.Chunks[1].Offset = 17 },
+		"hist bin":         func(i *Index) { i.MerHist[3] = 999 },
+		"dropped chunk":    func(i *Index) { i.Chunks = i.Chunks[:1] },
+	}
+	seen := map[string]string{base: "base"}
+	for name, mutate := range mutations {
+		idx := syntheticIndex()
+		mutate(idx)
+		d := idx.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[d] = name
+	}
+}
+
+// TestDigestBuildDeterminism checks the end-to-end property the result
+// cache relies on: building an index twice from the same data — including
+// from a relocated copy of the data — digests identically, and different
+// data digests differently.
+func TestDigestBuildDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dir := t.TempDir()
+	path, _ := writeFastq(t, dir, "reads.fastq", rng, 60, 50)
+	opts := Options{K: 15, M: 6, ChunkSize: 1024}
+
+	idx1, err := Build([]string{path}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := Build([]string{path}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx1.Digest() != idx2.Digest() {
+		t.Errorf("building twice from the same file digests differently")
+	}
+
+	// Relocate: copy the file byte-for-byte into another directory.
+	dir2 := filepath.Join(t.TempDir(), "moved")
+	if err := os.MkdirAll(dir2, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := filepath.Join(dir2, "reads.fastq")
+	if err := os.WriteFile(moved, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx3, err := Build([]string{moved}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx1.Digest() != idx3.Digest() {
+		t.Errorf("relocated dataset digests differently")
+	}
+
+	// Different data must digest differently.
+	other, _ := writeFastq(t, dir, "other.fastq", rng, 60, 50)
+	idx4, err := Build([]string{other}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4 := idx4.Digest(); d4 == idx1.Digest() {
+		t.Errorf("different data digests identically")
+	}
+
+	// Different build options over the same data must digest differently.
+	idx5, err := Build([]string{path}, Options{K: 17, M: 6, ChunkSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx5.Digest() == idx1.Digest() {
+		t.Errorf("different K digests identically")
+	}
+}

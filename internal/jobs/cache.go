@@ -1,0 +1,66 @@
+package jobs
+
+import (
+	"container/list"
+
+	"metaprep/internal/core"
+)
+
+// resultCache is a small LRU of completed pipeline results, keyed by the
+// content-addressed (index digest, canonical config hash) pair. Results are
+// immutable once a run completes, so entries are shared by pointer; the
+// LRU bound keeps the resident label arrays proportional to the configured
+// capacity rather than to the daemon's lifetime.
+type resultCache struct {
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+// newResultCache returns a cache bounded to capacity entries; capacity < 0
+// disables caching (every get misses).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key (nil on miss), refreshing its
+// recency. Callers hold the manager mutex.
+func (c *resultCache) get(key string) *core.Result {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res
+}
+
+// put stores a result, evicting the least recently used entry beyond
+// capacity. Callers hold the manager mutex.
+func (c *resultCache) put(key string, res *core.Result) {
+	if c.cap < 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int { return c.order.Len() }

@@ -1,0 +1,512 @@
+// Package jobs is the partition-as-a-service job manager behind the
+// metaprepd daemon: a bounded submission queue with admission control, a
+// worker pool sized to the configured concurrency, a per-job lifecycle
+// (pending → running → done/failed/cancelled), retries for transient I/O
+// failures, and a content-addressed result cache keyed by
+// (index digest, canonical config hash).
+//
+// The manager is deliberately independent of HTTP: internal/server maps its
+// typed errors (ErrQueueFull → 429 + Retry-After, core.ErrInvalidConfig →
+// 400, ErrDraining → 503) onto the wire, and any other front end (a CLI, a
+// message queue) could drive the same Manager.
+//
+// Identical work is never executed twice concurrently: a submission whose
+// cache key matches a pending or running job coalesces onto that job, and a
+// key whose result is cached completes immediately as a cache hit.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"metaprep/internal/core"
+	"metaprep/internal/obsv"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The job lifecycle: Pending (queued, not yet picked up) → Running →
+// exactly one of Done, Failed, Cancelled.
+const (
+	Pending   State = "pending"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Typed admission errors, mapped by the HTTP layer onto status codes.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity (the server answers 429 with Retry-After).
+	ErrQueueFull = errors.New("jobs: submission queue is full")
+	// ErrDraining rejects submissions after Drain has begun (503).
+	ErrDraining = errors.New("jobs: manager is draining")
+	// ErrNotFound reports an unknown job ID (404).
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrNotDone reports a result request for a job that has not finished
+	// successfully (409).
+	ErrNotDone = errors.New("jobs: job has no result")
+)
+
+// Runner executes one partition job. The default is core.RunContext; tests
+// inject fakes.
+type Runner func(ctx context.Context, cfg core.Config) (*core.Result, error)
+
+// Options configures a Manager. Zero values take the documented defaults.
+type Options struct {
+	// Workers is the worker-pool size — the number of pipeline runs the
+	// manager executes concurrently (default 1; each run already
+	// parallelizes internally over Tasks×Threads goroutines).
+	Workers int
+	// QueueCap bounds the submission queue; a submission beyond it is
+	// rejected with ErrQueueFull (default 16).
+	QueueCap int
+	// CacheCap bounds the result cache in entries, evicted LRU (default 64;
+	// 0 uses the default, negative disables caching).
+	CacheCap int
+	// Retries is how many times a job is re-run after a transient failure
+	// (default 2). Non-transient failures never retry.
+	Retries int
+	// Transient classifies retryable errors; nil uses IsTransient.
+	Transient func(error) bool
+	// Runner executes jobs; nil uses core.RunContext.
+	Runner Runner
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.QueueCap < 1 {
+		o.QueueCap = 16
+	}
+	if o.CacheCap == 0 {
+		o.CacheCap = 64
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Transient == nil {
+		o.Transient = IsTransient
+	}
+	if o.Runner == nil {
+		o.Runner = core.RunContext
+	}
+	return o
+}
+
+// Job is one submitted partition run. All mutable state is guarded by the
+// owning Manager's mutex; read a consistent view with Status.
+type Job struct {
+	// ID is the manager-assigned identifier ("j1", "j2", …).
+	ID string
+	// Key is the content-addressed cache key: indexDigest + ":" + configHash.
+	Key string
+	// Config is the run's configuration with Obs set to this job's private
+	// collector.
+	Config core.Config
+
+	obs *obsv.Collector
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+
+	state           State
+	cacheHit        bool
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	attempts        int
+	err             error
+	result          *core.Result
+	cancelRequested bool
+	cancel          context.CancelFunc
+}
+
+// Status is a point-in-time snapshot of a job, JSON-shaped for the API.
+type Status struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	// CacheHit marks a job satisfied from the result cache without running.
+	CacheHit  bool      `json:"cache_hit"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+	// Attempts counts runner invocations (> 1 after transient retries).
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+	// Counters is the job's live obsv counter snapshot — the per-step
+	// progress signal (bytes/chunks/k-mers so far, tuples exchanged, …).
+	Counters []obsv.CounterValue `json:"counters,omitempty"`
+}
+
+// Done reports completion; the returned channel closes when the job reaches
+// a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Manager owns the queue, the workers, the job table and the result cache.
+type Manager struct {
+	opts Options
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // IDs in submission order, for listing
+	inflight map[string]*Job // live (pending/running) job per cache key
+	cache    *resultCache
+	seq      int
+	draining bool
+	hits     uint64 // cache + coalesced-submit hits
+
+	queue chan *Job
+	wg    sync.WaitGroup
+	// stopCtx cancels every running job on Stop (the hard counterpart to
+	// the graceful Drain).
+	stopCtx  context.Context
+	stopAll  context.CancelFunc
+	stopOnce sync.Once
+}
+
+// NewManager starts a manager with its worker pool.
+func NewManager(opts Options) *Manager {
+	opts = opts.withDefaults()
+	m := &Manager{
+		opts:     opts,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		cache:    newResultCache(opts.CacheCap),
+		queue:    make(chan *Job, opts.QueueCap),
+	}
+	m.stopCtx, m.stopAll = context.WithCancel(context.Background())
+	m.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// CacheKey returns the content-addressed key of a configuration:
+// the index digest paired with the canonical config hash.
+func CacheKey(cfg core.Config) string {
+	return cfg.Index.Digest() + ":" + cfg.CanonicalHash()
+}
+
+// Submit validates cfg and admits it as a job. The three outcomes beyond
+// plain admission:
+//
+//   - invalid config: error wrapping core.ErrInvalidConfig (HTTP 400);
+//   - queue full: ErrQueueFull (HTTP 429), draining: ErrDraining (503);
+//   - duplicate work: a submission whose key matches a pending/running job
+//     returns that job (fresh=false, no second execution); a key with a
+//     cached result returns a job born Done with CacheHit set.
+func (m *Manager) Submit(cfg core.Config) (job *Job, fresh bool, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, false, err
+	}
+	key := CacheKey(cfg)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, false, ErrDraining
+	}
+	if live := m.inflight[key]; live != nil {
+		m.hits++
+		return live, false, nil
+	}
+	if res := m.cache.get(key); res != nil {
+		m.hits++
+		j := m.newJobLocked(key, cfg)
+		j.state = Done
+		j.cacheHit = true
+		j.result = res
+		j.finished = time.Now()
+		close(j.done)
+		return j, false, nil
+	}
+	j := m.newJobLocked(key, cfg)
+	select {
+	case m.queue <- j:
+	default:
+		// Admission control: undo the registration; the caller gets a 429.
+		delete(m.jobs, j.ID)
+		m.order = m.order[:len(m.order)-1]
+		return nil, false, ErrQueueFull
+	}
+	m.inflight[key] = j
+	return j, true, nil
+}
+
+// newJobLocked allocates and registers a pending job. Caller holds m.mu.
+func (m *Manager) newJobLocked(key string, cfg core.Config) *Job {
+	m.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("j%d", m.seq),
+		Key:       key,
+		state:     Pending,
+		submitted: time.Now(),
+		obs:       obsv.New(),
+		done:      make(chan struct{}),
+	}
+	cfg.Obs = j.obs
+	j.Config = cfg
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	return j
+}
+
+// worker drains the queue until Drain closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob drives one job through running → terminal, retrying transient
+// failures.
+func (m *Manager) runJob(j *Job) {
+	m.mu.Lock()
+	if j.cancelRequested || j.state != Pending {
+		// Cancelled while queued; finalized by Cancel already.
+		m.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.stopCtx)
+	defer cancel()
+	j.cancel = cancel
+	j.state = Running
+	j.started = time.Now()
+	cfg := j.Config
+	m.mu.Unlock()
+
+	var res *core.Result
+	var err error
+	for attempt := 1; ; attempt++ {
+		m.mu.Lock()
+		j.attempts = attempt
+		m.mu.Unlock()
+		res, err = m.opts.Runner(ctx, cfg)
+		if err == nil || ctx.Err() != nil || attempt > m.opts.Retries || !m.opts.Transient(err) {
+			break
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.finished = time.Now()
+	delete(m.inflight, j.Key)
+	switch {
+	case j.cancelRequested || (err != nil && ctx.Err() != nil):
+		j.state = Cancelled
+		if err == nil {
+			err = context.Canceled
+		}
+		j.err = err
+	case err != nil:
+		j.state = Failed
+		j.err = err
+	default:
+		j.state = Done
+		j.result = res
+		m.cache.put(j.Key, res)
+	}
+	close(j.done)
+}
+
+// Cancel requests cancellation of a job: a pending job is finalized
+// immediately; a running job's context is cancelled, aborting blocked ranks
+// through the pipeline's abort propagation. Terminal jobs are unaffected
+// (no error — cancel is idempotent).
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return ErrNotFound
+	}
+	switch j.state {
+	case Pending:
+		j.cancelRequested = true
+		j.state = Cancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		delete(m.inflight, j.Key)
+		close(j.done)
+	case Running:
+		if !j.cancelRequested {
+			j.cancelRequested = true
+			j.cancel()
+		}
+	}
+	return nil
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Result returns a done job's pipeline result.
+func (m *Manager) Result(id string) (*core.Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	if j.state != Done {
+		if j.err != nil {
+			return nil, fmt.Errorf("%w: state %s: %v", ErrNotDone, j.state, j.err)
+		}
+		return nil, fmt.Errorf("%w: state %s", ErrNotDone, j.state)
+	}
+	return j.result, nil
+}
+
+// Status snapshots a job, including its live progress counters.
+func (m *Manager) Status(id string) (Status, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return Status{}, ErrNotFound
+	}
+	return m.statusOf(j, true), nil
+}
+
+// List snapshots every job in submission order, without the (potentially
+// large) counter sets.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	js := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		js = append(js, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(js))
+	for i, j := range js {
+		out[i] = m.statusOf(j, false)
+	}
+	return out
+}
+
+func (m *Manager) statusOf(j *Job, counters bool) Status {
+	m.mu.Lock()
+	s := Status{
+		ID: j.ID, Key: j.Key, State: j.state, CacheHit: j.cacheHit,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+		Attempts: j.attempts,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	m.mu.Unlock()
+	if counters {
+		// The collector has its own lock; don't nest it under m.mu.
+		s.Counters = j.obs.Counters()
+	}
+	return s
+}
+
+// Stats is the manager-level snapshot the /metrics endpoint renders.
+type Stats struct {
+	QueueDepth    int           `json:"queue_depth"`
+	QueueCapacity int           `json:"queue_capacity"`
+	Workers       int           `json:"workers"`
+	Jobs          map[State]int `json:"jobs"`
+	CacheEntries  int           `json:"cache_entries"`
+	CacheHits     uint64        `json:"cache_hits"`
+	Draining      bool          `json:"draining"`
+}
+
+// StatsSnapshot returns current queue, job-state and cache figures.
+func (m *Manager) StatsSnapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		QueueDepth:    len(m.queue),
+		QueueCapacity: m.opts.QueueCap,
+		Workers:       m.opts.Workers,
+		Jobs:          map[State]int{Pending: 0, Running: 0, Done: 0, Failed: 0, Cancelled: 0},
+		CacheEntries:  m.cache.len(),
+		CacheHits:     m.hits,
+		Draining:      m.draining,
+	}
+	for _, j := range m.jobs {
+		s.Jobs[j.state]++
+	}
+	return s
+}
+
+// Drain stops admission (Submit returns ErrDraining) and waits for every
+// queued and running job to finish, or for ctx to expire — the graceful
+// half of SIGTERM handling. On ctx expiry the remaining jobs keep running;
+// call Stop to hard-cancel them.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue) // workers exit once the backlog is gone
+	}
+	m.mu.Unlock()
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stop hard-cancels every running job (their contexts are children of the
+// manager's stop context) after marking the manager draining. It does not
+// wait; follow with Drain for that.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	m.stopOnce.Do(m.stopAll)
+}
+
+// IsTransient is the default retry classifier: context cancellations and
+// configuration errors never retry; errors that declare themselves
+// transient (a Transient() bool method, as injected fault types do) or wrap
+// ErrTransient do.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, core.ErrInvalidConfig) {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// ErrTransient marks an error as retryable when wrapped
+// (fmt.Errorf("...: %w", jobs.ErrTransient)).
+var ErrTransient = errors.New("jobs: transient failure")

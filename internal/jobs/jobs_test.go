@@ -1,0 +1,543 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"metaprep/internal/core"
+	"metaprep/internal/index"
+)
+
+// testConfig returns a valid config over a synthetic in-memory index.
+// Validate and CacheKey only read the options and index tables, so no
+// dataset is needed to exercise the manager.
+func testConfig() core.Config {
+	idx := &index.Index{
+		Opts:    index.Options{K: 27, M: 10, ChunkSize: 1 << 20},
+		Files:   []string{"synthetic.fastq"},
+		MerHist: []uint64{1, 2, 3},
+		Reads:   10,
+	}
+	return core.Default(idx)
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, m *Manager, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, st.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitDone blocks on the job's done channel with a timeout.
+func waitDone(t *testing.T, j *Job, d time.Duration) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(d):
+		t.Fatalf("job %s did not finish within %v", j.ID, d)
+	}
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	want := &core.Result{}
+	var runs atomic.Int64
+	m := NewManager(Options{Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+		runs.Add(1)
+		return want, nil
+	}})
+	defer m.Stop()
+
+	j, fresh, err := m.Submit(testConfig())
+	if err != nil || !fresh {
+		t.Fatalf("Submit: job=%v fresh=%v err=%v", j, fresh, err)
+	}
+	waitDone(t, j, 5*time.Second)
+	st, err := m.Status(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != Done || st.CacheHit || st.Attempts != 1 {
+		t.Fatalf("status after run: %+v", st)
+	}
+	res, err := m.Result(j.ID)
+	if err != nil || res != want {
+		t.Fatalf("Result: %v, %v", res, err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runner executed %d times", runs.Load())
+	}
+}
+
+func TestSubmitRejectsInvalidConfig(t *testing.T) {
+	m := NewManager(Options{Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+		return &core.Result{}, nil
+	}})
+	defer m.Stop()
+	cfg := testConfig()
+	cfg.Tasks = 0
+	if _, _, err := m.Submit(cfg); !errors.Is(err, core.ErrInvalidConfig) {
+		t.Fatalf("Submit(invalid): err = %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestConcurrentIdenticalSubmits is the single-execution-per-key guarantee
+// under -race: many goroutines submit the same config while the runner is
+// still executing; exactly one execution happens and everyone lands on the
+// same job. After completion, resubmission is a cache hit.
+func TestConcurrentIdenticalSubmits(t *testing.T) {
+	release := make(chan struct{})
+	var runs atomic.Int64
+	m := NewManager(Options{Workers: 4, Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+		runs.Add(1)
+		<-release
+		return &core.Result{}, nil
+	}})
+	defer m.Stop()
+
+	const N = 24
+	var wg sync.WaitGroup
+	ids := make([]string, N)
+	freshCount := atomic.Int64{}
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, fresh, err := m.Submit(testConfig())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if fresh {
+				freshCount.Add(1)
+			}
+			ids[i] = j.ID
+		}(i)
+	}
+	wg.Wait()
+	if freshCount.Load() != 1 {
+		t.Fatalf("%d fresh submissions, want 1", freshCount.Load())
+	}
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("submissions landed on different jobs: %v", ids)
+		}
+	}
+	close(release)
+	j, _ := m.Get(ids[0])
+	waitDone(t, j, 5*time.Second)
+	if runs.Load() != 1 {
+		t.Fatalf("runner executed %d times for one key", runs.Load())
+	}
+
+	// The completed result now serves resubmissions from the cache.
+	j2, fresh, err := m.Submit(testConfig())
+	if err != nil || fresh {
+		t.Fatalf("resubmit: fresh=%v err=%v", fresh, err)
+	}
+	if j2.ID == ids[0] {
+		t.Fatalf("cache hit reused the original job object")
+	}
+	waitDone(t, j2, time.Second)
+	st, _ := m.Status(j2.ID)
+	if st.State != Done || !st.CacheHit {
+		t.Fatalf("cache-hit status: %+v", st)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("cache hit re-executed the runner")
+	}
+	if s := m.StatsSnapshot(); s.CacheHits < uint64(N) {
+		t.Fatalf("StatsSnapshot.CacheHits = %d, want >= %d", s.CacheHits, N)
+	}
+}
+
+// TestConcurrentDistinctSubmits checks distinct keys run independently,
+// once each, under -race.
+func TestConcurrentDistinctSubmits(t *testing.T) {
+	var mu sync.Mutex
+	runsPerKey := map[int]int{}
+	m := NewManager(Options{Workers: 4, QueueCap: 64,
+		Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+			mu.Lock()
+			runsPerKey[cfg.SplitComponents]++
+			mu.Unlock()
+			return &core.Result{}, nil
+		}})
+	defer m.Stop()
+
+	const N = 12
+	var wg sync.WaitGroup
+	jobs := make([]*Job, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := testConfig()
+			cfg.SplitComponents = i + 1 // distinct cache keys
+			j, fresh, err := m.Submit(cfg)
+			if err != nil || !fresh {
+				t.Errorf("submit %d: fresh=%v err=%v", i, fresh, err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	wg.Wait()
+	for _, j := range jobs {
+		if j != nil {
+			waitDone(t, j, 5*time.Second)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(runsPerKey) != N {
+		t.Fatalf("%d distinct keys executed, want %d", len(runsPerKey), N)
+	}
+	for k, n := range runsPerKey {
+		if n != 1 {
+			t.Fatalf("key %d executed %d times", k, n)
+		}
+	}
+}
+
+// TestQueueFullAdmission checks the bounded queue rejects with ErrQueueFull
+// once the single worker is busy and the queue is at capacity, and admits
+// again after the backlog drains.
+func TestQueueFullAdmission(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	m := NewManager(Options{Workers: 1, QueueCap: 2,
+		Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+			started <- fmt.Sprint(cfg.SplitComponents)
+			<-release
+			return &core.Result{}, nil
+		}})
+	defer m.Stop()
+
+	submit := func(i int) (*Job, error) {
+		cfg := testConfig()
+		cfg.SplitComponents = i
+		j, _, err := m.Submit(cfg)
+		return j, err
+	}
+
+	// First job occupies the worker…
+	first, err := submit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the first job")
+	}
+	// …two more fill the queue…
+	if _, err := submit(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := submit(3); err != nil {
+		t.Fatal(err)
+	}
+	// …and the next distinct submission is rejected.
+	if _, err := submit(4); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit beyond capacity: err = %v, want ErrQueueFull", err)
+	}
+	// A duplicate of queued work still coalesces rather than erroring.
+	cfg := testConfig()
+	cfg.SplitComponents = 2
+	if _, fresh, err := m.Submit(cfg); err != nil || fresh {
+		t.Fatalf("duplicate during full queue: fresh=%v err=%v", fresh, err)
+	}
+
+	close(release)
+	waitDone(t, first, 5*time.Second)
+	// Once the backlog drains, admission resumes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := submit(4); err == nil {
+			break
+		} else if !errors.Is(err, ErrQueueFull) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCancelPendingJob(t *testing.T) {
+	release := make(chan struct{})
+	var runs atomic.Int64
+	m := NewManager(Options{Workers: 1,
+		Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+			runs.Add(1)
+			<-release
+			return &core.Result{}, nil
+		}})
+	defer m.Stop()
+
+	blocker := testConfig()
+	blocker.SplitComponents = 1
+	bj, _, err := m.Submit(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, bj.ID, Running)
+
+	queued := testConfig()
+	queued.SplitComponents = 2
+	qj, _, err := m.Submit(queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(qj.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, qj, time.Second) // finalized immediately, not on dequeue
+	st, _ := m.Status(qj.ID)
+	if st.State != Cancelled {
+		t.Fatalf("pending job after cancel: %+v", st)
+	}
+	// Cancel is idempotent, including on terminal jobs.
+	if err := m.Cancel(qj.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	close(release)
+	waitDone(t, bj, 5*time.Second)
+	if runs.Load() != 1 {
+		t.Fatalf("cancelled pending job was executed (%d runs)", runs.Load())
+	}
+	// A fresh submission of the cancelled key runs normally (no poisoning).
+	qj2, fresh, err := m.Submit(queued)
+	if err != nil || !fresh {
+		t.Fatalf("resubmit after cancel: fresh=%v err=%v", fresh, err)
+	}
+	waitDone(t, qj2, 5*time.Second)
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	m := NewManager(Options{
+		Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+			<-ctx.Done() // a well-behaved pipeline returns ctx.Err() promptly
+			return nil, ctx.Err()
+		}})
+	defer m.Stop()
+
+	j, _, err := m.Submit(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, Running)
+	if err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, time.Second) // the acceptance bound: cancel returns < 1s
+	st, _ := m.Status(j.ID)
+	if st.State != Cancelled {
+		t.Fatalf("running job after cancel: %+v", st)
+	}
+	if _, err := m.Result(j.ID); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("Result of cancelled job: err = %v, want ErrNotDone", err)
+	}
+}
+
+func TestCancelUnknownJob(t *testing.T) {
+	m := NewManager(Options{Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+		return &core.Result{}, nil
+	}})
+	defer m.Stop()
+	if err := m.Cancel("j999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel(unknown): err = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Status("j999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Status(unknown): err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestTransientRetry checks transient failures retry up to Retries and then
+// succeed, while permanent failures fail on the first attempt.
+func TestTransientRetry(t *testing.T) {
+	var calls atomic.Int64
+	m := NewManager(Options{Retries: 2,
+		Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+			if calls.Add(1) < 3 {
+				return nil, fmt.Errorf("flaky read: %w", ErrTransient)
+			}
+			return &core.Result{}, nil
+		}})
+	defer m.Stop()
+
+	j, _, err := m.Submit(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 5*time.Second)
+	st, _ := m.Status(j.ID)
+	if st.State != Done || st.Attempts != 3 {
+		t.Fatalf("after transient retries: %+v", st)
+	}
+
+	permanent := errors.New("corrupt index")
+	var permCalls atomic.Int64
+	m2 := NewManager(Options{Retries: 2,
+		Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+			permCalls.Add(1)
+			return nil, permanent
+		}})
+	defer m2.Stop()
+	j2, _, err := m2.Submit(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j2, 5*time.Second)
+	st2, _ := m2.Status(j2.ID)
+	if st2.State != Failed || st2.Attempts != 1 || permCalls.Load() != 1 {
+		t.Fatalf("permanent failure retried: %+v (calls %d)", st2, permCalls.Load())
+	}
+}
+
+// selfDescribingFault declares its own retryability via a Transient method,
+// the way instrumented I/O fault types do.
+type selfDescribingFault struct{ retryable bool }
+
+func (f *selfDescribingFault) Error() string   { return "io stall" }
+func (f *selfDescribingFault) Transient() bool { return f.retryable }
+
+func TestIsTransientClassifier(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{context.Canceled, false},
+		{fmt.Errorf("run: %w", context.DeadlineExceeded), false},
+		{&core.ConfigError{Field: "Tasks", Reason: "0"}, false},
+		{ErrTransient, true},
+		{fmt.Errorf("pass 2: %w", ErrTransient), true},
+		{&selfDescribingFault{retryable: true}, true},
+		{fmt.Errorf("chunk 3: %w", &selfDescribingFault{retryable: true}), true},
+		{&selfDescribingFault{retryable: false}, false},
+		{errors.New("plain failure"), false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestCacheEviction checks the LRU bound: with capacity 1, an older result
+// is evicted and its key re-executes on resubmission.
+func TestCacheEviction(t *testing.T) {
+	var runs atomic.Int64
+	m := NewManager(Options{CacheCap: 1,
+		Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+			runs.Add(1)
+			return &core.Result{}, nil
+		}})
+	defer m.Stop()
+
+	run := func(i int) {
+		cfg := testConfig()
+		cfg.SplitComponents = i
+		j, _, err := m.Submit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j, 5*time.Second)
+	}
+	run(1)
+	run(2) // evicts key 1
+	if s := m.StatsSnapshot(); s.CacheEntries != 1 {
+		t.Fatalf("cache entries = %d, want 1", s.CacheEntries)
+	}
+	run(1) // re-executes
+	if runs.Load() != 3 {
+		t.Fatalf("runner executed %d times, want 3 (eviction forces re-run)", runs.Load())
+	}
+}
+
+// TestDrainGraceful checks Drain rejects new work, finishes queued work and
+// returns; Stop hard-cancels instead.
+func TestDrainGraceful(t *testing.T) {
+	var runs atomic.Int64
+	m := NewManager(Options{Workers: 2,
+		Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+			runs.Add(1)
+			time.Sleep(10 * time.Millisecond)
+			return &core.Result{}, nil
+		}})
+
+	var jobsList []*Job
+	for i := 1; i <= 4; i++ {
+		cfg := testConfig()
+		cfg.SplitComponents = i
+		j, _, err := m.Submit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobsList = append(jobsList, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, j := range jobsList {
+		st, _ := m.Status(j.ID)
+		if st.State != Done {
+			t.Fatalf("job %s after drain: %+v", j.ID, st)
+		}
+	}
+	if runs.Load() != 4 {
+		t.Fatalf("drain lost work: %d runs, want 4", runs.Load())
+	}
+	if _, _, err := m.Submit(testConfig()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit while draining: err = %v, want ErrDraining", err)
+	}
+	if !m.StatsSnapshot().Draining {
+		t.Fatalf("StatsSnapshot.Draining = false after Drain")
+	}
+}
+
+func TestStopCancelsRunning(t *testing.T) {
+	m := NewManager(Options{
+		Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}})
+	j, _, err := m.Submit(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, Running)
+	m.Stop()
+	waitDone(t, j, time.Second)
+	st, _ := m.Status(j.ID)
+	if st.State != Cancelled {
+		t.Fatalf("job after Stop: %+v", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain after Stop: %v", err)
+	}
+}

@@ -1,0 +1,76 @@
+package mpirt
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancelWakesBlockedComm cancels a world whose ranks are
+// deadlocked in communication primitives (a Recv that will never be
+// satisfied, a Barrier missing a participant) and checks every rank wakes
+// through the abort propagation and RunContext reports the cancellation.
+func TestRunContextCancelWakesBlockedComm(t *testing.T) {
+	w := NewWorld(4, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	started := make(chan struct{}, 4)
+	var once sync.Once
+	go func() {
+		// Cancel only after every rank is committed to blocking.
+		for i := 0; i < 4; i++ {
+			<-started
+		}
+		cancel()
+	}()
+
+	doneAt := make(chan time.Time, 1)
+	err := w.RunContext(ctx, func(task *Task) error {
+		started <- struct{}{}
+		switch task.Rank() {
+		case 0:
+			task.Recv(1, 99) // rank 1 never sends tag 99
+		default:
+			task.Barrier() // rank 0 never arrives
+		}
+		once.Do(func() { doneAt <- time.Now() })
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext after cancel: err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-doneAt:
+		t.Fatalf("a blocked rank ran to completion despite the deadlock")
+	default:
+	}
+}
+
+// TestRunContextCompletesNormally checks a live context leaves RunContext's
+// behaviour identical to Run, including error propagation.
+func TestRunContextCompletesNormally(t *testing.T) {
+	w := NewWorld(3, nil)
+	err := w.RunContext(context.Background(), func(task *Task) error {
+		task.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+
+	boom := errors.New("rank 1 failed")
+	w2 := NewWorld(3, nil)
+	err = w2.RunContext(context.Background(), func(task *Task) error {
+		task.Barrier()
+		if task.Rank() == 1 {
+			return boom
+		}
+		task.Barrier()
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunContext error propagation: err = %v, want %v", err, boom)
+	}
+}

@@ -22,6 +22,7 @@
 package mpirt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -264,6 +265,26 @@ func (t *Task) Barrier() {
 // blocked in Send, Recv or Barrier are aborted (they report ErrPeerFailed),
 // so a single failure terminates the whole run instead of deadlocking it.
 func (w *World) Run(body func(t *Task) error) error {
+	return w.RunContext(context.Background(), body)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the world is
+// failed through the same abort-propagation path a crashed peer uses, so
+// every task blocked in Send, Recv or Barrier wakes promptly instead of
+// deadlocking, and RunContext returns ctx.Err(). Tasks that are mid-compute
+// are not preempted — long compute loops must poll ctx themselves (the core
+// pipeline checks it at chunk and step boundaries).
+func (w *World) RunContext(ctx context.Context, body func(t *Task) error) error {
+	done := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				w.fail()
+			case <-done:
+			}
+		}()
+	}
 	errs := make([]error, w.p)
 	var wg sync.WaitGroup
 	wg.Add(w.p)
@@ -286,6 +307,12 @@ func (w *World) Run(body func(t *Task) error) error {
 		}(r)
 	}
 	wg.Wait()
+	close(done)
+	// A cancelled context is the root cause, whatever shape the per-task
+	// aborts took.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// Prefer a root-cause error over the peers' ErrPeerFailed echoes.
 	var peerErr error
 	for _, err := range errs {

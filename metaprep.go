@@ -33,6 +33,7 @@
 package metaprep
 
 import (
+	"context"
 	"io"
 
 	"metaprep/internal/assembly"
@@ -95,6 +96,28 @@ func DefaultConfig(idx *Index) Config { return core.Default(idx) }
 
 // Partition runs the METAPREP pipeline.
 func Partition(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// PartitionContext is Partition with cancellation: when ctx is cancelled or
+// times out, compute threads stop at the next chunk or step boundary,
+// blocked ranks wake through the runtime's abort propagation, and the call
+// returns ctx.Err() promptly with no goroutines leaked. This is what lets a
+// job service cancel a running partition instead of abandoning it.
+func PartitionContext(ctx context.Context, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, cfg)
+}
+
+// ConfigError is a typed Config validation failure (field + reason). It
+// wraps ErrInvalidConfig, so services can classify bad requests with one
+// errors.Is and return a clean 400 instead of failing deep in the pipeline.
+type ConfigError = core.ConfigError
+
+// ErrInvalidConfig is the sentinel every ConfigError wraps.
+var ErrInvalidConfig = core.ErrInvalidConfig
+
+// ValidateConfig checks a pipeline configuration, returning a *ConfigError
+// for the first violated invariant (nil index, k out of the 64/128-bit
+// ranges, m ≥ k, tasks/threads/passes < 1, inverted filter bounds, …).
+func ValidateConfig(cfg Config) error { return cfg.Validate() }
 
 // PipelineCountResult is the distributed counter's sorted output.
 type PipelineCountResult = core.CountResult
