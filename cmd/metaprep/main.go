@@ -57,6 +57,7 @@ func usage() {
   metaprep run        -index FILE [-tasks 1] [-threads 1] [-passes 1]
                       [-kf-min 0] [-kf-max 0] [-split N] [-sparse-merge]
                       [-outdir DIR] [-edison-net] [-merge-output]
+                      [-exchange-chunk N] [-prefetch N] [-no-prefetch]
                       [-trace FILE] [-metrics FILE] [-counters FILE|-]
                       [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
   metaprep stats      -index FILE
@@ -107,6 +108,7 @@ func cmdRun(args []string) error {
 	sparseMerge := fs.Bool("sparse-merge", false, "use sparse MergeCC payloads (good for diverse, singleton-heavy data)")
 	prefetch := fs.Int("prefetch", 0, "per-thread chunk read-ahead depth (0 = default of 1)")
 	noPrefetch := fs.Bool("no-prefetch", false, "disable overlapped chunk I/O (ablation)")
+	exchangeChunk := fs.Int("exchange-chunk", 0, "stream the tuple exchange in chunks of this many tuples, overlapping it with KmerGen (0 = bulk exchange after generation)")
 	labelsPath := fs.String("labels", "", "also save the component label array here")
 	tracePath := fs.String("trace", "", "write a Perfetto-loadable Chrome trace of the run here")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot (steps, per-task reports, counters) here")
@@ -135,6 +137,7 @@ func cmdRun(args []string) error {
 	cfg.SparseMerge = *sparseMerge
 	cfg.PrefetchChunks = *prefetch
 	cfg.NoPrefetch = *noPrefetch
+	cfg.ExchangeChunkTuples = *exchangeChunk
 	if *edisonNet {
 		cfg.Network = metaprep.EdisonNetwork()
 	}

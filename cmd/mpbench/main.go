@@ -10,7 +10,7 @@
 //	mpbench -list                    # list experiments
 //
 // Experiments: tab2 fig5 fig6 fig7 fig8 tab3 fig9 sort tab4 tab5 tab6 tab7
-// tab8 tab9 stream calib.
+// tab8 tab9 purity ablate exchange stream calib.
 package main
 
 import (
@@ -44,6 +44,7 @@ func experiments() []experiment {
 		{"tab9", "alias of tab8 (quality prints with timing)", expTables8and9},
 		{"purity", "extension: partition purity vs ground truth", expPurity},
 		{"ablate", "DESIGN.md design-decision ablations", expAblation},
+		{"exchange", "extension: bulk vs streaming chunked exchange (overlap)", expExchange},
 		{"stream", "STREAM Triad memory bandwidth", expStream},
 		{"calib", "host calibration constants", expCalib},
 	}

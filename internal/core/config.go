@@ -109,6 +109,24 @@ type Config struct {
 	// paper's claim that the index tables remove synchronization overhead;
 	// production runs leave it false.
 	DynamicOffsets bool
+	// ExchangeChunkTuples, when > 0, switches the §3.3 tuple exchange to
+	// the streaming chunked schedule: each (pass, destination) send region
+	// is split into fixed-size chunks of this many tuples, KmerGen
+	// publishes a chunk the moment its region fills, and a per-task
+	// exchange goroutine pair drains published chunks through the P-stage
+	// schedule (with double buffering) while enumeration of later chunks is
+	// still running — overlapping compute with communication, so the
+	// modeled KmerGen+Comm wall time approaches max(T_gen, T_comm) instead
+	// of their sum. 0 keeps the bulk-synchronous reference path. Results
+	// are bit-identical either way. Incompatible with DynamicOffsets, whose
+	// shared cursors interleave threads within a destination region and
+	// destroy the chunk-fill accounting.
+	ExchangeChunkTuples int
+	// Pool, when non-nil, supplies and reclaims the two per-task tuple
+	// buffers (kmerOut/kmerIn) so back-to-back runs — the daemon's jobs —
+	// reuse multi-GB slices instead of reallocating them. Never affects
+	// results and is excluded from CanonicalHash.
+	Pool *TuplePool
 	// NoVectorKmerGen disables the 4-lane "vectorized" k-mer generator
 	// (§3.2.1, used for k ≤ 31), falling back to the scalar rolling
 	// generator; the ablation benchmark compares the two.
@@ -188,6 +206,13 @@ func (c Config) Validate() error {
 	}
 	if c.PrefetchChunks < 0 {
 		return &ConfigError{Field: "PrefetchChunks", Reason: fmt.Sprintf("%d < 0", c.PrefetchChunks)}
+	}
+	if c.ExchangeChunkTuples < 0 {
+		return &ConfigError{Field: "ExchangeChunkTuples", Reason: fmt.Sprintf("%d < 0", c.ExchangeChunkTuples)}
+	}
+	if c.ExchangeChunkTuples > 0 && c.DynamicOffsets {
+		return &ConfigError{Field: "ExchangeChunkTuples",
+			Reason: "streaming exchange requires precomputed offsets (incompatible with DynamicOffsets)"}
 	}
 	return nil
 }

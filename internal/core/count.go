@@ -107,16 +107,17 @@ func RunCountContext(ctx context.Context, cfg Config) (*CountResult, error) {
 		}
 		st.files = files
 		wide := !pl.use64()
-		st.out = newTupleBuf(pl.bufTuples[st.rank], wide)
-		st.in = newTupleBuf(pl.bufTuples[st.rank], wide)
+		st.out = cfg.acquireTupleBuf(pl.bufTuples[st.rank], wide)
+		st.in = cfg.acquireTupleBuf(pl.bufTuples[st.rank], wide)
+		defer func() {
+			cfg.releaseTupleBuf(st.out)
+			cfg.releaseTupleBuf(st.in)
+		}()
 
 		for s := 0; s < cfg.Passes; s++ {
 			gl := pl.genLayout(s, st.rank)
 			rl := pl.recvLayout(s, st.rank)
-			if err := st.kmerGen(s, gl); err != nil {
-				return err
-			}
-			if err := st.exchange(s, gl, rl); err != nil {
+			if err := st.genExchange(s, gl, rl); err != nil {
 				return err
 			}
 			sl := pl.sortLayout(s, st.rank, rl)

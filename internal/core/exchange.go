@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metaprep/internal/mpirt"
+	"metaprep/internal/obsv"
+)
+
+// exchange.go implements the streaming chunked variant of the §3.3 tuple
+// exchange (Config.ExchangeChunkTuples > 0), overlapping KmerGen with
+// KmerGen-Comm.
+//
+// The bulk reference path is strictly phased: all of KmerGen runs, then the
+// whole kmerOut buffer ships through the P-stage all-to-all. Streaming cuts
+// each (pass, destination) send region into fixed-size tuple chunks and
+// runs three actors per task concurrently:
+//
+//   - the KmerGen worker threads, whose per-(dst,thread) cursors already
+//     tile every destination region, additionally count tuples into the
+//     chunk they land in (chunkTracker) and publish a chunk the moment its
+//     fill count reaches the chunk's size;
+//   - a sender goroutine that walks the paper's P-stage schedule (stage i
+//     sends to rank+i mod P) chunk by chunk, waiting for each chunk's
+//     publication, shipping it with the nonblocking ISend, and keeping at
+//     most two transfers in flight (double buffering) before Wait-ing the
+//     oldest — which is where the NetworkModel charges transfer time, so
+//     modeled communication accrues while enumeration still runs;
+//   - a receiver goroutine that walks the mirrored schedule (stage i
+//     receives from rank-i mod P) and lands each chunk at its precomputed
+//     offset in kmerIn while later chunks are still being enumerated.
+//
+// Both sides derive every chunk count and offset from the index tables, so
+// the schedule needs no control messages; per-(src,dst) FIFO delivery makes
+// (stage, chunk) order unambiguous. Chunks are zero-copy views into
+// kmerOut, immutable once published; the end-of-pass barrier (as in the
+// bulk path) keeps the buffer alive until every peer has landed its copy.
+//
+// Deadlock freedom: a sender only ever blocks on chunk publication (KmerGen
+// progress, which terminates or aborts) or on a Wait of its own earlier
+// ISend; ISend itself never blocks (mpirt outbox). A receiver only blocks
+// on the message its peer's sender has not shipped yet. Order all messages
+// by (stage, chunk): the globally-first undelivered message's sender is
+// blocked only on publication or on strictly earlier messages, so by
+// induction every message is delivered. Abort propagation (peer error,
+// cancellation, or a local KmerGen failure routed through Task.Abort) wakes
+// both goroutines through the mpirt failure channel.
+
+// chunkTracker counts tuples into exchange chunks as KmerGen writes them
+// and publishes each chunk when it is full. Worker threads contribute
+// disjoint tuple ranges, so the fill counters are the only shared state
+// (one atomic add per contribution, not per tuple).
+type chunkTracker struct {
+	chunkTuples uint64
+	dstOff      []uint64
+	chunkBase   []int
+	// want[f] is the size of flat chunk f; filled[f] counts landed tuples.
+	want   []uint64
+	filled []atomic.Uint64
+	// pub carries published flat chunk indices to the sender goroutine. It
+	// is buffered to the total chunk count, so publishing never blocks a
+	// worker thread.
+	pub chan int
+}
+
+func newChunkTracker(gl genLayout) *chunkTracker {
+	tr := &chunkTracker{
+		chunkTuples: gl.chunkTuples,
+		dstOff:      gl.dstOff,
+		chunkBase:   gl.chunkBase,
+		want:        make([]uint64, gl.chunkTotal),
+		filled:      make([]atomic.Uint64, gl.chunkTotal),
+		pub:         make(chan int, gl.chunkTotal),
+	}
+	for dst := range gl.dstOff {
+		nc := gl.chunksFor(dst)
+		for c := 0; c < nc; c++ {
+			sz := gl.chunkTuples
+			if rem := gl.dstCnt[dst] - uint64(c)*gl.chunkTuples; rem < sz {
+				sz = rem
+			}
+			tr.want[gl.chunkBase[dst]+c] = sz
+		}
+	}
+	return tr
+}
+
+// add records that tuples [lo, hi) of dst's send region have been written.
+// The range never straddles a chunk boundary (KmerGen flushes at every
+// boundary), so it contributes to exactly one chunk; when that chunk's fill
+// count reaches its size, the chunk is published. The fetch-add makes the
+// last contributor — whichever thread it is — the publisher, exactly once.
+func (tr *chunkTracker) add(dst int, lo, hi uint64) {
+	if hi == lo {
+		return
+	}
+	f := tr.chunkBase[dst] + int((lo-tr.dstOff[dst])/tr.chunkTuples)
+	if tr.filled[f].Add(hi-lo) == tr.want[f] {
+		tr.pub <- f
+	}
+}
+
+// nextBound returns the first chunk-flush position after pos in dst's send
+// region: the next chunk boundary, clamped to lim (a thread's sub-region
+// can end mid-chunk; the partial contribution flushes there and the next
+// thread completes the chunk).
+func (tr *chunkTracker) nextBound(dst int, pos, lim uint64) uint64 {
+	b := tr.dstOff[dst] + ((pos-tr.dstOff[dst])/tr.chunkTuples+1)*tr.chunkTuples
+	if b > lim {
+		b = lim
+	}
+	return b
+}
+
+// exchStream is one pass's streaming exchange: the sender and receiver
+// goroutines plus their shared accounting.
+type exchStream struct {
+	st      *taskState
+	tracker *chunkTracker
+	start   time.Time
+
+	wg       sync.WaitGroup
+	sendErr  error
+	recvErr  error
+	pubWait  time.Duration // sender time spent waiting on unpublished chunks
+	peakBack int           // peak published-but-unsent chunk backlog
+}
+
+// startStream launches the exchange goroutines for pass s and installs the
+// chunk tracker KmerGen publishes through. Call before kmerGen; join after.
+func (st *taskState) startStream(s int, gl genLayout, rl recvLayout) *exchStream {
+	ex := &exchStream{st: st, tracker: newChunkTracker(gl), start: time.Now()}
+	st.exchTracker = ex.tracker
+	ex.wg.Add(2)
+	go ex.runSender(s, gl)
+	go ex.runReceiver(s, rl)
+	return ex
+}
+
+// join waits for both goroutines and reports the first error. It must be
+// called even on the error path (after Task.Abort) so no goroutine leaks.
+func (ex *exchStream) join() error {
+	ex.wg.Wait()
+	ex.st.exchTracker = nil
+	if ex.sendErr != nil {
+		return ex.sendErr
+	}
+	return ex.recvErr
+}
+
+// sendWindow is the double-buffering depth: how many chunk transfers a
+// sender keeps in flight before Wait-ing the oldest.
+const sendWindow = 2
+
+func (ex *exchStream) runSender(s int, gl genLayout) {
+	defer ex.wg.Done()
+	err := mpirt.Guard(func() {
+		if e := ex.sendLoop(s, gl); e != nil && ex.sendErr == nil {
+			ex.sendErr = e
+		}
+	})
+	if err != nil && ex.sendErr == nil {
+		ex.sendErr = err
+	}
+}
+
+func (ex *exchStream) sendLoop(s int, gl genLayout) error {
+	st := ex.st
+	t := st.t
+	P := t.Size()
+	tr := ex.tracker
+	obs := st.obs
+	published := make([]bool, gl.chunkTotal)
+	backlog := 0
+	var inflight []*mpirt.Request
+	var sent int
+	for i := 0; i < P; i++ {
+		dst := (st.rank + i) % P
+		nc := gl.chunksFor(dst)
+		for c := 0; c < nc; c++ {
+			f := gl.chunkBase[dst] + c
+			// Opportunistically drain publications so the backlog gauge
+			// reflects chunks that filled while earlier ones were shipping.
+		drain:
+			for {
+				select {
+				case j := <-tr.pub:
+					published[j] = true
+					backlog++
+				default:
+					break drain
+				}
+			}
+			// Wait for the chunk to be published, draining the publish
+			// channel (chunks fill in data order, not schedule order).
+			if waited := !published[f]; waited {
+				sp := obs.StartSpan(st.rank, obsv.TidExchange, "detail", "publish-wait")
+				w0 := time.Now()
+				for !published[f] {
+					select {
+					case j := <-tr.pub:
+						published[j] = true
+						backlog++
+					case <-t.Failed():
+						return mpirt.ErrPeerFailed
+					}
+				}
+				ex.pubWait += time.Since(w0)
+				sp.EndArgs(map[string]any{"dst": dst, "chunk": c, "backlog": backlog})
+			}
+			if backlog > ex.peakBack {
+				ex.peakBack = backlog
+			}
+			backlog--
+			s0 := time.Now()
+			off := gl.dstOff[dst] + uint64(c)*tr.chunkTuples
+			cnt := tr.want[f]
+			req := t.ISend(dst, tagTuples+s, st.out.msgFor(off, cnt),
+				int(cnt)*st.out.bytesPerTuple())
+			inflight = append(inflight, req)
+			sent++
+			if obs != nil {
+				obs.RecordSpan(st.rank, obsv.TidExchange, "detail", "chunk-send", s0, time.Since(s0),
+					map[string]any{"dst": dst, "chunk": c, "tuples": cnt, "inflight": len(inflight)})
+			}
+			// Double buffering: cap the in-flight window so modeled
+			// transfer time accrues as the pass runs rather than all at
+			// the end, and backpressure bounds the sender's lead.
+			if len(inflight) > sendWindow {
+				t.Wait(inflight[0])
+				inflight = inflight[1:]
+			}
+		}
+	}
+	t.WaitAll(inflight)
+	if obs != nil {
+		st.counter("exchange/chunks_sent").Add(uint64(sent))
+		st.counter("exchange/publish_wait_us").Add(uint64(ex.pubWait.Microseconds()))
+		st.counter("exchange/backlog_peak_chunks").Add(uint64(ex.peakBack))
+	}
+	return nil
+}
+
+func (ex *exchStream) runReceiver(s int, rl recvLayout) {
+	defer ex.wg.Done()
+	err := mpirt.Guard(func() {
+		if e := ex.recvLoop(s, rl); e != nil && ex.recvErr == nil {
+			ex.recvErr = e
+		}
+	})
+	if err != nil && ex.recvErr == nil {
+		ex.recvErr = err
+	}
+}
+
+func (ex *exchStream) recvLoop(s int, rl recvLayout) error {
+	st := ex.st
+	t := st.t
+	P := t.Size()
+	obs := st.obs
+	var mismatch error
+	var landed int
+	for i := 0; i < P; i++ {
+		src := (st.rank - i + P) % P
+		nc := rl.chunksFrom(src)
+		var got uint64
+		for c := 0; c < nc; c++ {
+			r0 := time.Now()
+			m := t.Wait(t.IRecv(src, tagTuples+s)).(tupleMsg)
+			off := rl.srcOff[src] + uint64(c)*rl.chunkTuples
+			n := st.in.receive(off, m)
+			got += n
+			landed++
+			if obs != nil {
+				obs.RecordSpan(st.rank, obsv.TidExchRecv, "detail", "chunk-land", r0, time.Since(r0),
+					map[string]any{"src": src, "chunk": c, "tuples": n})
+			}
+		}
+		if st.exchTupleCounters != nil {
+			st.exchTupleCounters[src].Add(got)
+		}
+		if got != rl.srcCnt[src] && mismatch == nil {
+			mismatch = fmt.Errorf("core: task %d received %d tuples from %d, index predicts %d",
+				st.rank, got, src, rl.srcCnt[src])
+		}
+	}
+	if obs != nil {
+		st.counter("exchange/chunks_recv").Add(uint64(landed))
+	}
+	return mismatch
+}
+
+// genExchange runs KmerGen and the tuple exchange for pass s, dispatching
+// between the bulk-synchronous reference path and the streaming overlapped
+// path on Config.ExchangeChunkTuples. Results are bit-identical; only the
+// schedule (and therefore the step-time split) differs.
+func (st *taskState) genExchange(s int, gl genLayout, rl recvLayout) error {
+	if st.p.cfg.ExchangeChunkTuples == 0 {
+		if err := st.kmerGen(s, gl); err != nil {
+			return err
+		}
+		return st.exchange(s, gl, rl)
+	}
+	ex := st.startStream(s, gl, rl)
+	if err := st.kmerGen(s, gl); err != nil {
+		// Fail the world before joining: the exchange goroutines (ours and
+		// every peer's) may be blocked in sends, receives, or publish
+		// waits that only the abort propagation can wake.
+		st.t.Abort()
+		ex.join()
+		return err
+	}
+	genEnd := time.Now()
+	err := ex.join()
+	// As in the bulk path, the barrier keeps kmerOut alive until every
+	// peer has landed its zero-copy chunks, and keeps passes in lockstep.
+	st.t.Barrier()
+	if err != nil {
+		return err
+	}
+	// Step accounting. The modeled transfer time accrued at the sender's
+	// Waits; the portion that fits inside the enumeration wall time is
+	// overlapped (hidden), and only the remainder is exposed communication.
+	// KmerGen-Comm therefore charges the measured post-enumeration drain
+	// (the real tail: final chunks, peer skew, barrier) plus the exposed
+	// modeled time — summed with KmerGen's charge this yields the
+	// overlapped total max(T_gen, T_comm) + ε the cost model predicts.
+	tail := time.Since(genEnd)
+	commModel := st.t.TakeCommTime()
+	total := commModel
+	if hidden := genEnd.Sub(ex.start); commModel > hidden {
+		commModel -= hidden
+	} else {
+		commModel = 0
+	}
+	if st.obs != nil {
+		st.counter("exchange/comm_hidden_us").Add(uint64((total - commModel).Microseconds()))
+	}
+	d := tail + commModel
+	st.rep.Steps.KmerGenComm += d
+	st.stepSpan("KmerGen-Comm", genEnd, d)
+	return nil
+}

@@ -16,7 +16,7 @@ import (
 // canonicalHashVersion is bumped whenever the set of hashed fields or their
 // normalization changes, invalidating every previously cached result rather
 // than silently aliasing old entries.
-const canonicalHashVersion = 1
+const canonicalHashVersion = 2
 
 // CanonicalHash returns a stable hex digest of the run-defining
 // configuration. The encoding is canonical:
@@ -45,6 +45,11 @@ func (c Config) CanonicalHash() string {
 	// Normalized prefetch depth: 0 (NoPrefetch), or effective read-ahead.
 	field("prefetch_depth", c.prefetchDepth())
 	field("dynamic_offsets", c.DynamicOffsets)
+	// 0 is the bulk reference path; any positive value is a distinct
+	// schedule knob even though results are bit-identical, because cached
+	// step timings and traces differ. (Pool is excluded: buffer reuse can
+	// never change a result.)
+	field("exchange_chunk_tuples", c.ExchangeChunkTuples)
 	field("no_vector_kmergen", c.NoVectorKmerGen)
 	if c.Network == nil || (c.Network.Latency == 0 && c.Network.BandwidthBytesPerSec == 0) {
 		field("network", "none")

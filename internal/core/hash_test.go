@@ -14,7 +14,7 @@ import (
 // and re-pin — never let old cached results alias the new scheme silently.
 func TestCanonicalHashGolden(t *testing.T) {
 	def := Config{Tasks: 1, Threads: 1, Passes: 1, CCOpt: true}
-	const wantDef = "835967aa72f787ec14092081b0bd4479b66dc020ccf29ea0b17688a3a702ac8a"
+	const wantDef = "76e6360ee8496446aa13f141a8c90b1a2fefe439610196b91177e6cc0dc28991"
 	if got := def.CanonicalHash(); got != wantDef {
 		t.Errorf("CanonicalHash(default) = %s, want %s", got, wantDef)
 	}
@@ -33,7 +33,7 @@ func TestCanonicalHashGolden(t *testing.T) {
 		NoVectorKmerGen: true,
 		Network:         &mpirt.NetworkModel{Latency: time.Microsecond, BandwidthBytesPerSec: 8e9},
 	}
-	const wantFull = "6cc7229900846fd5a65f8dbb795d87adb0933760442cbb813409ac60b5147b8f"
+	const wantFull = "650332c10166de3041abba56ffa3cb1115cb2cf1278c7519d5910c92f108da5b"
 	if got := full.CanonicalHash(); got != wantFull {
 		t.Errorf("CanonicalHash(full) = %s, want %s", got, wantFull)
 	}
@@ -73,6 +73,13 @@ func TestCanonicalHashEquivalentSpellings(t *testing.T) {
 		t.Errorf("NoPrefetch did not change the hash")
 	}
 
+	// Buffer pooling recycles allocations and can never change a result.
+	pooled := base
+	pooled.Pool = NewTuplePool()
+	if got := pooled.CanonicalHash(); got != want {
+		t.Errorf("Pool leaked into the hash: %s vs %s", want, got)
+	}
+
 	// The Index pointer and the Obs collector are not run-defining: the
 	// index is the other half of the cache key, observability never
 	// changes results.
@@ -89,18 +96,19 @@ func TestCanonicalHashEquivalentSpellings(t *testing.T) {
 func TestCanonicalHashSensitivity(t *testing.T) {
 	base := Config{Tasks: 2, Threads: 2, Passes: 1, CCOpt: true}
 	mutations := map[string]func(*Config){
-		"tasks":             func(c *Config) { c.Tasks = 3 },
-		"threads":           func(c *Config) { c.Threads = 4 },
-		"passes":            func(c *Config) { c.Passes = 2 },
-		"filter.min":        func(c *Config) { c.Filter.Min = 2 },
-		"filter.max":        func(c *Config) { c.Filter.Max = 50 },
-		"ccopt":             func(c *Config) { c.CCOpt = false },
-		"sparse_merge":      func(c *Config) { c.SparseMerge = true },
-		"split_components":  func(c *Config) { c.SplitComponents = 2 },
-		"out_dir":           func(c *Config) { c.OutDir = "d" },
-		"prefetch_depth":    func(c *Config) { c.PrefetchChunks = 3 },
-		"dynamic_offsets":   func(c *Config) { c.DynamicOffsets = true },
-		"no_vector_kmergen": func(c *Config) { c.NoVectorKmerGen = true },
+		"tasks":                 func(c *Config) { c.Tasks = 3 },
+		"threads":               func(c *Config) { c.Threads = 4 },
+		"passes":                func(c *Config) { c.Passes = 2 },
+		"filter.min":            func(c *Config) { c.Filter.Min = 2 },
+		"filter.max":            func(c *Config) { c.Filter.Max = 50 },
+		"ccopt":                 func(c *Config) { c.CCOpt = false },
+		"sparse_merge":          func(c *Config) { c.SparseMerge = true },
+		"split_components":      func(c *Config) { c.SplitComponents = 2 },
+		"out_dir":               func(c *Config) { c.OutDir = "d" },
+		"prefetch_depth":        func(c *Config) { c.PrefetchChunks = 3 },
+		"dynamic_offsets":       func(c *Config) { c.DynamicOffsets = true },
+		"no_vector_kmergen":     func(c *Config) { c.NoVectorKmerGen = true },
+		"exchange_chunk_tuples": func(c *Config) { c.ExchangeChunkTuples = 1 << 16 },
 		"network": func(c *Config) {
 			c.Network = &mpirt.NetworkModel{Latency: time.Microsecond, BandwidthBytesPerSec: 1e9}
 		},

@@ -125,6 +125,37 @@ func (st *taskState) kmerGenThread(s, t int, gl genLayout, owner []uint16,
 		}
 		st.out.set(i, hi, lo, val)
 	}
+	if tr := st.exchTracker; tr != nil {
+		// Streaming exchange: track chunk fills. Each thread flushes its
+		// contribution [mark, cur) to the tracker at every chunk boundary
+		// inside its sub-region, and at the sub-region's end (bound is
+		// clamped to lim — a sub-region ending mid-chunk flushes a partial
+		// contribution and the next thread completes the chunk). The hot
+		// path gains one predictable compare per tuple; the tracker's
+		// atomic is touched once per contribution, not per tuple.
+		mark := make([]uint64, cfg.Tasks)
+		bound := make([]uint64, cfg.Tasks)
+		copy(mark, cur)
+		for dst := range bound {
+			bound[dst] = tr.nextBound(dst, cur[dst], lim[dst])
+		}
+		emit = func(bin int, hi, lo uint64, val uint32) {
+			dst := int(owner[bin-passLo])
+			i := cur[dst]
+			if i >= lim[dst] {
+				overflow = true
+				return
+			}
+			st.out.set(i, hi, lo, val)
+			i++
+			cur[dst] = i
+			if i == bound[dst] {
+				tr.add(dst, mark[dst], i)
+				mark[dst] = i
+				bound[dst] = tr.nextBound(dst, i, lim[dst])
+			}
+		}
+	}
 
 	var laneBuf []kmer.Kmer64
 	var scanner fastq.ChunkScanner

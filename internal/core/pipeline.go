@@ -40,6 +40,15 @@ type taskState struct {
 	ufStats *unionfind.Stats
 	files   []*os.File
 
+	// exchTracker, non-nil only while a streaming exchange pass runs,
+	// receives chunk-fill notifications from the KmerGen worker threads.
+	exchTracker *chunkTracker
+	// exchTupleCounters[src] is the preformatted per-source-rank tuple
+	// counter ("exchange/tuples[src->rank]"), resolved once at task setup
+	// so the receive path never formats counter names (nil when
+	// observability is off).
+	exchTupleCounters []*obsv.Counter
+
 	// rep is this task's accounting, accumulated in place as the steps
 	// run. Steps, tuples, edges and iteration counts live only here —
 	// TaskReport is the one per-task report type, consumed by Result,
@@ -59,6 +68,18 @@ func newTaskState(ctx context.Context, pl *plan, task *mpirt.Task) *taskState {
 		st.obs.SetProcessName(st.rank, fmt.Sprintf("task %d", st.rank))
 		st.obs.SetThreadName(st.rank, obsv.TidSteps, "steps")
 		st.obs.SetThreadName(st.rank, obsv.TidComm, "mpirt comm")
+		if pl.cfg.ExchangeChunkTuples > 0 {
+			st.obs.SetThreadName(st.rank, obsv.TidExchange, "exchange send")
+			st.obs.SetThreadName(st.rank, obsv.TidExchRecv, "exchange recv")
+		}
+		// Per-rank-pair tuple counters (the Fig. 8 communication-imbalance
+		// quantity, keyed on the receiving task), preformatted here so the
+		// exchange receive path does no string formatting per message.
+		st.exchTupleCounters = make([]*obsv.Counter, pl.cfg.Tasks)
+		for src := range st.exchTupleCounters {
+			st.exchTupleCounters[src] =
+				st.counter(fmt.Sprintf("exchange/tuples[%03d->%03d]", src, st.rank))
+		}
 		for t := 0; t < pl.cfg.Threads; t++ {
 			st.obs.SetThreadName(st.rank, obsv.TidWorker+t, fmt.Sprintf("worker %d", t))
 			if !pl.cfg.NoPrefetch {
@@ -231,8 +252,16 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			return err
 		}
 		st.files = files
-		st.out = newTupleBuf(pl.bufTuples[st.rank], !pl.use64())
-		st.in = newTupleBuf(pl.bufTuples[st.rank], !pl.use64())
+		st.out = cfg.acquireTupleBuf(pl.bufTuples[st.rank], !pl.use64())
+		st.in = cfg.acquireTupleBuf(pl.bufTuples[st.rank], !pl.use64())
+		defer func() {
+			// Safe to recycle even on the error path: RunContext joins
+			// every rank before returning, so no peer still holds a
+			// zero-copy view into these buffers when a later run (the
+			// next daemon job) can acquire them.
+			cfg.releaseTupleBuf(st.out)
+			cfg.releaseTupleBuf(st.in)
+		}()
 		st.dsu = unionfind.New(int(pl.idx.Reads))
 		st.dsu.SetStats(st.ufStats)
 		for _, ci := range pl.taskChunks[st.rank] {
@@ -244,10 +273,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		for s := 0; s < cfg.Passes; s++ {
 			gl := pl.genLayout(s, st.rank)
 			rl := pl.recvLayout(s, st.rank)
-			if err := st.kmerGen(s, gl); err != nil {
-				return err
-			}
-			if err := st.exchange(s, gl, rl); err != nil {
+			if err := st.genExchange(s, gl, rl); err != nil {
 				return err
 			}
 			sl := pl.sortLayout(s, st.rank, rl)

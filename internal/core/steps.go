@@ -20,7 +20,6 @@ import (
 func (st *taskState) exchange(s int, gl genLayout, rl recvLayout) error {
 	t0 := time.Now()
 	var mismatch error
-	obs := st.obs
 	st.t.AllToAll(tagTuples+s,
 		func(dst int) (any, int) {
 			cnt := gl.dstCnt[dst]
@@ -28,10 +27,12 @@ func (st *taskState) exchange(s int, gl genLayout, rl recvLayout) error {
 		},
 		func(src int, payload any) {
 			got := st.in.receive(rl.srcOff[src], payload.(tupleMsg))
-			if obs != nil {
+			if st.exchTupleCounters != nil {
 				// Per-rank-pair volume: the Fig. 8 communication
-				// imbalance quantity, keyed on the receiving task.
-				st.counter(fmt.Sprintf("exchange/tuples[%03d->%03d]", src, st.rank)).Add(got)
+				// imbalance quantity, keyed on the receiving task. The
+				// counters were preformatted in newTaskState, keeping
+				// fmt.Sprintf out of the receive path.
+				st.exchTupleCounters[src].Add(got)
 			}
 			if got != rl.srcCnt[src] && mismatch == nil {
 				mismatch = fmt.Errorf("core: task %d received %d tuples from %d, index predicts %d",
@@ -62,7 +63,15 @@ func (st *taskState) localSort(s int, sl sortLayout) {
 	t0 := time.Now()
 	obs := st.obs
 	// Stage 1: partition. Work units are the P×T source regions of kmerIn.
+	// The bin→thread map is a flat lookup table over this task's bin range
+	// (the same shape as KmerGen's owner table): one array read per tuple
+	// instead of binCuts.find's per-tuple scan over the cut list.
 	thrCuts := binCuts(st.p.pt.ThreadCuts(s, st.rank))
+	binLo := thrCuts[0]
+	lut := make([]uint16, thrCuts[len(thrCuts)-1]-binLo)
+	for b := range lut {
+		lut[b] = uint16(thrCuts.find(binLo + b))
+	}
 	par.For(T, nr, func(r int) {
 		cursor := make([]uint64, T)
 		copy(cursor, sl.scatter[r*T:(r+1)*T])
@@ -70,7 +79,7 @@ func (st *taskState) localSort(s int, sl sortLayout) {
 		in, out := st.in, st.out
 		if in.wide() {
 			for i := off; i < off+cnt; i++ {
-				d := thrCuts.find(binOf128(in.hi[i], in.lo[i], st.p.idx.Opts.K, st.p.idx.Opts.M))
+				d := lut[binOf128(in.hi[i], in.lo[i], st.p.idx.Opts.K, st.p.idx.Opts.M)-binLo]
 				j := cursor[d]
 				cursor[d]++
 				out.moveTuple(j, in, i)
@@ -79,7 +88,7 @@ func (st *taskState) localSort(s int, sl sortLayout) {
 			k, m := st.p.idx.Opts.K, st.p.idx.Opts.M
 			shift := 2 * uint(k-m)
 			for i := off; i < off+cnt; i++ {
-				d := thrCuts.find(int(in.lo[i] >> shift))
+				d := lut[int(in.lo[i]>>shift)-binLo]
 				j := cursor[d]
 				cursor[d]++
 				out.moveTuple(j, in, i)

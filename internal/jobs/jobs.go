@@ -167,6 +167,13 @@ type Manager struct {
 	draining bool
 	hits     uint64 // cache + coalesced-submit hits
 
+	// pool recycles the pipeline's two per-task tuple buffers across jobs:
+	// back-to-back daemon runs reuse multi-GB slices instead of
+	// reallocating them. Buffers only return to the pool after a run has
+	// fully joined its ranks, so jobs running concurrently on the worker
+	// pool never share a live buffer.
+	pool *core.TuplePool
+
 	queue chan *Job
 	wg    sync.WaitGroup
 	// stopCtx cancels every running job on Stop (the hard counterpart to
@@ -184,6 +191,7 @@ func NewManager(opts Options) *Manager {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		cache:    newResultCache(opts.CacheCap),
+		pool:     core.NewTuplePool(),
 		queue:    make(chan *Job, opts.QueueCap),
 	}
 	m.stopCtx, m.stopAll = context.WithCancel(context.Background())
@@ -287,6 +295,10 @@ func (m *Manager) runJob(j *Job) {
 	j.state = Running
 	j.started = time.Now()
 	cfg := j.Config
+	// Thread the shared buffer pool through this run only (not the stored
+	// Config): recycling is an executor concern, invisible to the job's
+	// identity and cache key.
+	cfg.Pool = m.pool
 	m.mu.Unlock()
 
 	var res *core.Result
@@ -432,7 +444,11 @@ type Stats struct {
 	Jobs          map[State]int `json:"jobs"`
 	CacheEntries  int           `json:"cache_entries"`
 	CacheHits     uint64        `json:"cache_hits"`
-	Draining      bool          `json:"draining"`
+	// BufPoolHits/BufPoolMisses count tuple-buffer acquisitions served from
+	// the cross-job pool versus freshly allocated.
+	BufPoolHits   uint64 `json:"buf_pool_hits"`
+	BufPoolMisses uint64 `json:"buf_pool_misses"`
+	Draining      bool   `json:"draining"`
 }
 
 // StatsSnapshot returns current queue, job-state and cache figures.
@@ -446,6 +462,8 @@ func (m *Manager) StatsSnapshot() Stats {
 		Jobs:          map[State]int{Pending: 0, Running: 0, Done: 0, Failed: 0, Cancelled: 0},
 		CacheEntries:  m.cache.len(),
 		CacheHits:     m.hits,
+		BufPoolHits:   m.pool.Hits(),
+		BufPoolMisses: m.pool.Misses(),
 		Draining:      m.draining,
 	}
 	for _, j := range m.jobs {

@@ -541,3 +541,52 @@ func TestStopCancelsRunning(t *testing.T) {
 		t.Fatalf("Drain after Stop: %v", err)
 	}
 }
+
+// TestBufferPoolThreadedThroughJobs checks every job's runner receives the
+// manager's shared tuple-buffer pool (so back-to-back jobs reuse kmerIn and
+// kmerOut), while the job's stored Config — and therefore its identity and
+// cache key — stays pool-free, and that the pool's hit/miss figures surface
+// in the stats snapshot.
+func TestBufferPoolThreadedThroughJobs(t *testing.T) {
+	var pools []*core.TuplePool
+	var mu sync.Mutex
+	m := NewManager(Options{Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+		mu.Lock()
+		pools = append(pools, cfg.Pool)
+		mu.Unlock()
+		return &core.Result{}, nil
+	}})
+	defer m.Stop()
+
+	cfg1 := testConfig()
+	j1, _, err := m.Submit(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1, 5*time.Second)
+	cfg2 := testConfig()
+	cfg2.Passes = 2 // distinct cache key: forces a second execution
+	j2, _, err := m.Submit(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j2, 5*time.Second)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(pools) != 2 {
+		t.Fatalf("runner executed %d times, want 2", len(pools))
+	}
+	if pools[0] == nil || pools[0] != pools[1] {
+		t.Fatalf("jobs did not share one pool: %p vs %p", pools[0], pools[1])
+	}
+	if j1.Config.Pool != nil || j2.Config.Pool != nil {
+		t.Fatalf("pool leaked into the stored job Config")
+	}
+	s := m.StatsSnapshot()
+	if s.BufPoolHits != 0 || s.BufPoolMisses != 0 {
+		// The fake runner never acquires buffers; the figures must simply
+		// be present and zero (core's pool tests cover real reuse).
+		t.Fatalf("unexpected pool figures: hits=%d misses=%d", s.BufPoolHits, s.BufPoolMisses)
+	}
+}

@@ -12,6 +12,7 @@
 //	KmerGen-I/O  = S·(disk bytes)/P ÷ io bandwidth      (S redundant reads)
 //	KmerGen      = S·(M/P)/(T·scan) + (N/P)/(T·emit)
 //	KmerGen-Comm = cross bytes · (1/β + warmup/S) + P·S·α
+//	               (streaming: max(0, that − KmerGen) + chunks·α + 1 chunk/β)
 //	LocalSort    = (N/P)/(T·sort)
 //	LocalCC      = edges at base rate; passes ≥ 2 run ccOptBoost× faster
 //	               under the §3.5.1 optimization
@@ -25,6 +26,7 @@
 package model
 
 import (
+	"math"
 	"time"
 
 	"metaprep/internal/index"
@@ -123,9 +125,14 @@ func PaperWorkload(name string) Workload {
 }
 
 // Cluster is a machine configuration: P tasks (nodes), T threads each,
-// S passes.
+// S passes. ChunkTuples > 0 models the streaming chunked exchange
+// (core.Config.ExchangeChunkTuples): KmerGen-Comm proceeds concurrently
+// with KmerGen, so only the communication KmerGen cannot hide is charged,
+// plus a per-chunk latency overhead. 0 models the bulk post-generation
+// exchange.
 type Cluster struct {
-	P, T, S int
+	P, T, S     int
+	ChunkTuples int
 }
 
 // Steps is the model's per-step prediction, aligned with core.StepTimes.
@@ -283,8 +290,26 @@ func Predict(cal Calibration, w Workload, c Cluster) Steps {
 	s.KmerGen = sec(S*basesTask/(T*cal.ScanBasesPerSec) + tuplesTask/(T*cal.EmitTuplesPerSec))
 	if c.P > 1 {
 		cross := tuplesTask * float64(w.TupleBytes) * (P - 1) / P
-		s.KmerGenComm = sec(cross/cal.CommBW+cross*cal.CommWarmup/S) +
+		comm := sec(cross/cal.CommBW+cross*cal.CommWarmup/S) +
 			time.Duration(float64(c.P)*S)*cal.Latency
+		if c.ChunkTuples > 0 {
+			// Streaming chunked exchange: tuples ship while KmerGen is
+			// still producing, so the step models max(T_gen, T_comm)
+			// instead of T_gen + T_comm — only the communication KmerGen
+			// cannot hide is exposed, plus ε: one message latency per
+			// chunk and the drain of the last in-flight chunk after
+			// generation ends.
+			chunkBytes := float64(c.ChunkTuples * w.TupleBytes)
+			chunks := math.Ceil(cross / chunkBytes)
+			eps := time.Duration(chunks)*cal.Latency + sec(chunkBytes/cal.CommBW)
+			exposed := comm - s.KmerGen
+			if exposed < 0 {
+				exposed = 0
+			}
+			s.KmerGenComm = exposed + eps
+		} else {
+			s.KmerGenComm = comm
+		}
 	}
 	s.LocalSort = sec(tuplesTask / (T * cal.SortTuplesPerSec))
 	edgesTask := edges / P

@@ -88,6 +88,44 @@ func TestPredictTable3Absolute(t *testing.T) {
 	approx("LocalCC(S=8)", s8.LocalCC, 2.52)
 }
 
+func TestPredictOverlappedExchange(t *testing.T) {
+	// The streaming chunked exchange hides communication behind KmerGen:
+	// the modeled step must shrink versus the bulk exchange, stay positive
+	// (the ε chunking overhead), and grow again as chunks degenerate to
+	// single tuples (one message latency per tuple).
+	w := PaperWorkload("MM")
+	bulk := Predict(Edison(), w, Cluster{P: 4, T: 24, S: 2})
+	stream := Predict(Edison(), w, Cluster{P: 4, T: 24, S: 2, ChunkTuples: 1 << 20})
+	if stream.KmerGenComm >= bulk.KmerGenComm {
+		t.Errorf("streaming KmerGen-Comm %v did not improve on bulk %v",
+			stream.KmerGenComm, bulk.KmerGenComm)
+	}
+	if stream.KmerGenComm <= 0 {
+		t.Errorf("streaming KmerGen-Comm %v, want > 0 (ε overhead)", stream.KmerGenComm)
+	}
+	if stream.Total() >= bulk.Total() {
+		t.Errorf("streaming total %v did not improve on bulk %v", stream.Total(), bulk.Total())
+	}
+	// All other steps are untouched by the exchange schedule.
+	stream.KmerGenComm = bulk.KmerGenComm
+	if stream != bulk {
+		t.Errorf("streaming changed a non-exchange step: %+v vs %+v", stream, bulk)
+	}
+	// Degenerate 1-tuple chunks pay a latency per tuple and must be worse
+	// than sane chunking (and can exceed even the bulk exchange).
+	tiny := Predict(Edison(), w, Cluster{P: 4, T: 24, S: 2, ChunkTuples: 1})
+	big := Predict(Edison(), w, Cluster{P: 4, T: 24, S: 2, ChunkTuples: 1 << 20})
+	if tiny.KmerGenComm <= big.KmerGenComm {
+		t.Errorf("1-tuple chunks %v not worse than 1M-tuple chunks %v",
+			tiny.KmerGenComm, big.KmerGenComm)
+	}
+	// Single node: no exchange either way.
+	p1 := Predict(Edison(), w, Cluster{P: 1, T: 24, S: 2, ChunkTuples: 1 << 20})
+	if p1.KmerGenComm != 0 {
+		t.Errorf("P=1 streaming KmerGen-Comm = %v, want 0", p1.KmerGenComm)
+	}
+}
+
 func TestPredictThreadScaling(t *testing.T) {
 	// Single node: more threads must shrink compute steps and not change
 	// communication.
@@ -180,7 +218,7 @@ func TestPredictMonotoneInWorkload(t *testing.T) {
 	// A strictly larger workload must never predict a faster run.
 	small := PaperWorkload("HG")
 	big := PaperWorkload("MM")
-	for _, c := range []Cluster{{1, 1, 1}, {4, 24, 2}, {16, 24, 8}} {
+	for _, c := range []Cluster{{P: 1, T: 1, S: 1}, {P: 4, T: 24, S: 2}, {P: 16, T: 24, S: 8}} {
 		ts := Predict(Edison(), small, c).Total()
 		tb := Predict(Edison(), big, c).Total()
 		if tb <= ts {

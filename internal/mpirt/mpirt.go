@@ -85,6 +85,10 @@ type World struct {
 	obs *obsv.Collector
 	// chans[dst][src] carries messages from src to dst.
 	chans [][]chan message
+	// outs[dst][src] queues nonblocking sends from src to dst that did not
+	// fit in the channel buffer; a per-pair flusher goroutine drains it in
+	// FIFO order (see ISend).
+	outs [][]*outbox
 
 	barrierMu  sync.Mutex
 	barrierN   int
@@ -127,10 +131,13 @@ func NewWorld(p int, model *NetworkModel) *World {
 	}
 	w := &World{p: p, model: model, failed: make(chan struct{})}
 	w.chans = make([][]chan message, p)
+	w.outs = make([][]*outbox, p)
 	for d := range w.chans {
 		w.chans[d] = make([]chan message, p)
+		w.outs[d] = make([]*outbox, p)
 		for s := range w.chans[d] {
 			w.chans[d][s] = make(chan message, 8)
+			w.outs[d][s] = &outbox{}
 		}
 	}
 	w.barrierC = sync.NewCond(&w.barrierMu)

@@ -32,6 +32,8 @@ import (
 const (
 	TidSteps    = 0   // the per-task step timeline
 	TidComm     = 1   // mpirt point-to-point communication
+	TidExchange = 2   // streaming exchange: the chunk-drain (send) goroutine
+	TidExchRecv = 3   // streaming exchange: the chunk-landing (recv) goroutine
 	TidWorker   = 10  // + thread index: worker threads
 	TidPrefetch = 100 // + thread index: prefetch reader goroutines
 )
