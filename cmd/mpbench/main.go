@@ -45,6 +45,7 @@ func experiments() []experiment {
 		{"purity", "extension: partition purity vs ground truth", expPurity},
 		{"ablate", "DESIGN.md design-decision ablations", expAblation},
 		{"exchange", "extension: bulk vs streaming chunked exchange (overlap)", expExchange},
+		{"backhalf", "extension: delta tree merge, broadcast schedule, overlapped CC-I/O", expBackHalf},
 		{"stream", "STREAM Triad memory bandwidth", expStream},
 		{"calib", "host calibration constants", expCalib},
 	}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"metaprep/internal/index"
+)
+
+// backhalf_test.go covers the pipelined delta tree merge, the broadcast
+// ablation and the zero-copy overlapped CC-I/O: bit-identical results and
+// output files against the pre-existing reference paths, the bounded
+// top-component selection, concatFiles error handling, and clean mid-output
+// cancellation.
+
+// TestDeltaMergeMatchesDense asserts the pipelined delta merge reaches the
+// same global components as the one-shot dense merge across task counts
+// (powers of two and not) and multiple passes.
+func TestDeltaMergeMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	td := overlappingDataset(t, rng, smallOpts(), 4, 300, 220, 35)
+	for _, tasks := range []int{1, 2, 3, 4, 8} {
+		for _, passes := range []int{1, 2} {
+			t.Run(fmt.Sprintf("P%d/S%d", tasks, passes), func(t *testing.T) {
+				dense := Default(td.idx)
+				dense.Tasks = tasks
+				dense.Passes = passes
+				dense.SparseDeltaMerge = false
+				want, err := Run(dense)
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta := dense
+				delta.SparseDeltaMerge = true
+				got, err := Run(delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameLabels(t, canonLabels(want.Labels), got.Labels)
+				if want.Components != got.Components ||
+					want.LargestSize != got.LargestSize {
+					t.Fatalf("dense %d/%d vs delta %d/%d",
+						want.Components, want.LargestSize,
+						got.Components, got.LargestSize)
+				}
+			})
+		}
+	}
+}
+
+// TestDeltaMergeReducesTraffic pins the wire-byte claim: on mostly-singleton
+// data the delta schedule's sparse baselines plus change-only rounds must
+// ship fewer MergeCC bytes than the dense 4R-per-hop tree.
+func TestDeltaMergeReducesTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	td := genDataset(t, rng, smallOpts(), 2, 200, 50)
+	run := func(deltaMerge bool) int64 {
+		cfg := Default(td.idx)
+		cfg.Tasks = 4
+		cfg.SparseDeltaMerge = deltaMerge
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bytes int64
+		for _, rep := range res.PerTask {
+			bytes += rep.MergeBytes
+		}
+		return bytes
+	}
+	denseBytes := run(false)
+	deltaBytes := run(true)
+	if deltaBytes >= denseBytes {
+		t.Errorf("delta merge sent %d MergeCC bytes, dense %d", deltaBytes, denseBytes)
+	}
+}
+
+// readOutDir returns the contents of every .fastq file in dir keyed by file
+// name — the comparison unit for byte-for-byte output parity.
+func readOutDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make(map[string][]byte)
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = data
+	}
+	return files
+}
+
+// TestBackHalfOutputParity is the bit-identical output suite: for every
+// combination of key width, task count, component splitting and filter mode,
+// the full back-half (pipelined delta merge + zero-copy overlapped CC-I/O)
+// must write byte-for-byte the same files as the reference back-half (dense
+// one-shot merge + reader-based re-parse output), and the star-broadcast
+// ablation must change nothing either.
+func TestBackHalfOutputParity(t *testing.T) {
+	modes := []struct {
+		name string
+		opts index.Options
+	}{
+		{"64bit", index.Options{K: 11, M: 4, ChunkSize: 1500}},
+		{"128bit", index.Options{K: 45, M: 4, ChunkSize: 1500}},
+	}
+	filters := []struct {
+		name string
+		f    Filter
+	}{
+		{"nofilter", Filter{}},
+		{"maxfilter", Filter{Max: 40}},
+	}
+	for mi, mode := range modes {
+		rng := rand.New(rand.NewSource(int64(300 + mi)))
+		td := overlappingDataset(t, rng, mode.opts, 4, 260, 160, 60)
+		for _, tasks := range []int{1, 2, 4} {
+			for _, split := range []int{0, 3} {
+				for _, flt := range filters {
+					name := fmt.Sprintf("%s/P%d/split%d/%s", mode.name, tasks, split, flt.name)
+					t.Run(name, func(t *testing.T) {
+						base := Default(td.idx)
+						base.Tasks = tasks
+						base.Threads = 2
+						base.SplitComponents = split
+						base.Filter = flt.f
+						// Force the prefetch goroutines on even on a
+						// single-CPU host, so parity covers the overlapped
+						// ring path everywhere.
+						base.PrefetchChunks = 2
+
+						ref := base
+						ref.SparseDeltaMerge = false
+						ref.OverlapOutput = false
+						ref.OutDir = t.TempDir()
+						wantRes, err := Run(ref)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want := readOutDir(t, ref.OutDir)
+
+						bh := base
+						bh.OutDir = t.TempDir()
+						gotRes, err := Run(bh)
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertSameLabels(t, canonLabels(wantRes.Labels), gotRes.Labels)
+
+						star := base
+						star.StarBroadcast = true
+						star.OutDir = t.TempDir()
+						if _, err := Run(star); err != nil {
+							t.Fatal(err)
+						}
+
+						for variant, dir := range map[string]string{"backhalf": bh.OutDir, "star": star.OutDir} {
+							got := readOutDir(t, dir)
+							if len(got) != len(want) {
+								t.Fatalf("%s: %d output files, reference has %d", variant, len(got), len(want))
+							}
+							for name, wantData := range want {
+								gotData, ok := got[name]
+								if !ok {
+									t.Fatalf("%s: missing output file %s", variant, name)
+								}
+								if !bytes.Equal(gotData, wantData) {
+									t.Fatalf("%s: %s differs from the reference path (%d vs %d bytes)",
+										variant, name, len(gotData), len(wantData))
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestZeroCopyReencodesNonCanonicalInput feeds the pipeline CRLF input —
+// which NextRaw must flag non-verbatim — and checks the partitioned output
+// matches the reader-based path byte for byte (both re-encode to canonical
+// form).
+func TestZeroCopyReencodesNonCanonicalInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	dir := t.TempDir()
+	genome := make([]byte, 300)
+	for j := range genome {
+		genome[j] = "ACGT"[rng.Intn(4)]
+	}
+	path := filepath.Join(dir, "crlf.fastq")
+	var buf bytes.Buffer
+	for i := 0; i < 120; i++ {
+		pos := rng.Intn(len(genome) - 40)
+		seq := genome[pos : pos+40]
+		fmt.Fprintf(&buf, "@r%d\r\n%s\r\n+\r\n%s\r\n", i, seq, bytes.Repeat([]byte("I"), 40))
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build([]string{path}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := Default(idx)
+	ref.Tasks = 2
+	ref.OverlapOutput = false
+	ref.OutDir = t.TempDir()
+	if _, err := Run(ref); err != nil {
+		t.Fatal(err)
+	}
+	zc := Default(idx)
+	zc.Tasks = 2
+	zc.OutDir = t.TempDir()
+	if _, err := Run(zc); err != nil {
+		t.Fatal(err)
+	}
+	want := readOutDir(t, ref.OutDir)
+	got := readOutDir(t, zc.OutDir)
+	if len(got) != len(want) {
+		t.Fatalf("%d output files, reference has %d", len(got), len(want))
+	}
+	for name, wantData := range want {
+		if !bytes.Equal(got[name], wantData) {
+			t.Fatalf("%s differs between zero-copy and reader paths", name)
+		}
+	}
+}
+
+// TestTopComponents checks the bounded heap selection against a full-sort
+// reference on random size maps with deliberate ties.
+func TestTopComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	reference := func(sizes map[uint32]int, n int) []uint32 {
+		type comp struct {
+			root uint32
+			size int
+		}
+		all := make([]comp, 0, len(sizes))
+		for r, s := range sizes {
+			all = append(all, comp{r, s})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].size != all[j].size {
+				return all[i].size > all[j].size
+			}
+			return all[i].root < all[j].root
+		})
+		if n > len(all) {
+			n = len(all)
+		}
+		if n < 0 {
+			n = 0
+		}
+		roots := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			roots[i] = all[i].root
+		}
+		return roots
+	}
+	for trial := 0; trial < 50; trial++ {
+		sizes := make(map[uint32]int)
+		c := rng.Intn(40)
+		for i := 0; i < c; i++ {
+			// Small size range forces ties; sparse roots exercise ordering.
+			sizes[uint32(rng.Intn(1000))] = 1 + rng.Intn(6)
+		}
+		for _, n := range []int{0, 1, 2, 3, 10, len(sizes), len(sizes) + 5} {
+			want := reference(sizes, n)
+			got := topComponents(sizes, n)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d n=%d: got %d roots, want %d", trial, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d n=%d: roots[%d] = %d, want %d (got %v, want %v)",
+						trial, n, i, got[i], want[i], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestConcatFiles checks content, ordering and error propagation.
+func TestConcatFiles(t *testing.T) {
+	dir := t.TempDir()
+	var srcs []string
+	var want bytes.Buffer
+	for i := 0; i < 3; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("src%d", i))
+		data := bytes.Repeat([]byte{byte('a' + i)}, 1000*(i+1))
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want.Write(data)
+		srcs = append(srcs, p)
+	}
+	dst := filepath.Join(dir, "out")
+	if err := concatFiles(dst, srcs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("concatenated %d bytes, want %d", len(got), want.Len())
+	}
+
+	// A missing source must surface, not produce a silently short output.
+	if err := concatFiles(filepath.Join(dir, "out2"),
+		append(srcs, filepath.Join(dir, "missing"))); err == nil {
+		t.Fatal("concatFiles with a missing source returned nil")
+	}
+	// An uncreatable destination must surface too.
+	if err := concatFiles(filepath.Join(dir, "no", "such", "dir", "out"), srcs); err == nil {
+		t.Fatal("concatFiles with an uncreatable destination returned nil")
+	}
+}
+
+// TestRunContextCancelMidOutput cancels a run with overlapped zero-copy
+// output in the middle of CC-I/O and checks the error surfaces, no partial
+// result escapes, and no goroutine — output prefetchers included — leaks.
+// Under -race this shakes out the shutdown ordering between writeOutput's
+// per-thread fetcher close and the pipeline's deferred backstop close.
+func TestRunContextCancelMidOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	td := overlappingDataset(t, rng, smallOpts(), 4, 400, 300, 40)
+
+	base := runtime.NumGoroutine()
+	cfg := Default(td.idx)
+	cfg.Tasks = 2
+	cfg.Threads = 2
+	cfg.OutDir = t.TempDir()
+	// Keep the prefetch goroutines in play on single-CPU hosts too: the
+	// whole point here is shaking out their shutdown ordering.
+	cfg.PrefetchChunks = 2
+
+	// Poll sites before the output loop, with S=1: KmerGen polls once per
+	// chunk plus once per thread (the end-of-list iteration), each rank polls
+	// once at the pass boundary and once before writeOutput. The output loop
+	// then polls once per chunk again, so landing the flip half the chunks
+	// past that prefix places cancellation mid-CC-I/O deterministically.
+	chunks := len(td.idx.Chunks)
+	limit := chunks + cfg.Tasks*cfg.Threads + 2*cfg.Tasks + chunks/2
+	ctx := newChunkCancelCtx(limit)
+	res, err := RunContext(ctx, cfg)
+	returned := time.Now()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext after mid-output cancel: err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("RunContext returned a result alongside cancellation")
+	}
+	flipped := ctx.cancelledAt()
+	if flipped.IsZero() {
+		t.Fatalf("context never flipped: the run finished before %d polls", ctx.limit)
+	}
+	if lat := returned.Sub(flipped); lat > time.Second {
+		t.Fatalf("cancellation latency %v, want <= 1s", lat)
+	}
+	waitGoroutines(t, base, 2, 5*time.Second)
+}

@@ -86,6 +86,9 @@ func TestRunContextCancelMidKmerGen(t *testing.T) {
 	cfg := Default(td.idx)
 	cfg.Tasks = 2
 	cfg.Threads = 2
+	// Keep the prefetch goroutines in play on single-CPU hosts too — this
+	// test exists to check they exit.
+	cfg.PrefetchChunks = 2
 
 	ctx := newChunkCancelCtx(3)
 	res, err := RunContext(ctx, cfg)

@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"metaprep/internal/index"
@@ -84,6 +85,29 @@ type Config struct {
 	// (diverse metagenomes); the dense encoding is smaller once more than
 	// half the reads are in components.
 	SparseMerge bool
+	// SparseDeltaMerge replaces the one-shot tree merge with the pipelined
+	// delta schedule: every non-root rank ships, in each round of the §3.6
+	// merge tree, only the parent entries that changed since its previous
+	// snapshot (round 0 is the full sparse baseline), over nonblocking sends
+	// so a round's transfer overlaps the parent's absorb of the previous
+	// round. Results are identical to the dense and sparse one-shot paths;
+	// Default turns it on. Takes precedence over SparseMerge (setting both
+	// explicitly is a validation error).
+	SparseDeltaMerge bool
+	// StarBroadcast replaces the binomial-tree broadcast of the global label
+	// array with rank 0 sending to every task directly — the flat schedule
+	// the tree replaces, kept as an ablation knob for the modeled Merge-Comm
+	// comparison. Default leaves it off.
+	StarBroadcast bool
+	// OverlapOutput switches the CC-I/O step to the zero-copy overlapped
+	// path: output chunks are prefetched through the same per-thread chunk
+	// machinery KmerGen uses — with the prefetchers started while the merge
+	// and broadcast are still in flight — and records whose raw bytes are
+	// already in canonical form are blitted verbatim into the group writers
+	// instead of being re-parsed through fastq.Reader and re-serialized.
+	// Outputs are bit-identical to the reader-based path (the parity suite
+	// checks); Default turns it on.
+	OverlapOutput bool
 	// SplitComponents, when > 0, writes the N largest components to
 	// separate output file sets (component 0, 1, …) plus a remainder set,
 	// instead of the paper's largest-vs-rest split — the "alternate
@@ -141,9 +165,12 @@ type Config struct {
 }
 
 // Default returns a single-task configuration with sensible defaults for
-// the given index: one pass, one thread, the multi-pass optimization on.
+// the given index: one pass, one thread, the multi-pass optimization on,
+// and the back-half fast paths (pipelined delta merge, zero-copy overlapped
+// output) enabled.
 func Default(idx *index.Index) Config {
-	return Config{Index: idx, Tasks: 1, Threads: 1, Passes: 1, CCOpt: true}
+	return Config{Index: idx, Tasks: 1, Threads: 1, Passes: 1, CCOpt: true,
+		SparseDeltaMerge: true, OverlapOutput: true}
 }
 
 // ErrInvalidConfig is the sentinel every Config validation error wraps, so
@@ -214,18 +241,28 @@ func (c Config) Validate() error {
 		return &ConfigError{Field: "ExchangeChunkTuples",
 			Reason: "streaming exchange requires precomputed offsets (incompatible with DynamicOffsets)"}
 	}
+	if c.SparseDeltaMerge && c.SparseMerge {
+		return &ConfigError{Field: "SparseDeltaMerge",
+			Reason: "pick one merge payload encoding: SparseDeltaMerge (pipelined deltas) or SparseMerge (one-shot sparse)"}
+	}
 	return nil
 }
 
 // prefetchDepth returns the effective chunk read-ahead depth: 0 when the
-// prefetcher is ablated away, otherwise PrefetchChunks with 0 defaulting
-// to 1 (double buffering).
+// prefetcher is ablated away or the host has a single schedulable CPU (a
+// reader goroutine cannot overlap anything there — it only adds two context
+// switches per chunk), otherwise PrefetchChunks with 0 defaulting to 1
+// (double buffering). An explicit PrefetchChunks overrides the single-CPU
+// gate so the overlap machinery stays testable everywhere.
 func (c Config) prefetchDepth() int {
 	if c.NoPrefetch {
 		return 0
 	}
 	if c.PrefetchChunks > 0 {
 		return c.PrefetchChunks
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		return 0
 	}
 	return 1
 }

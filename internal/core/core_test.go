@@ -713,6 +713,7 @@ func TestSparseMergeMatchesDense(t *testing.T) {
 	td := overlappingDataset(t, rng, smallOpts(), 4, 300, 200, 35)
 	dense := Default(td.idx)
 	dense.Tasks = 4
+	dense.SparseDeltaMerge = false // one-shot dense baseline
 	denseRes, err := Run(dense)
 	if err != nil {
 		t.Fatal(err)
@@ -741,6 +742,7 @@ func TestSparseMergeReducesTrafficOnSparseGraphs(t *testing.T) {
 	run := func(sparse bool) int64 {
 		cfg := Default(td.idx)
 		cfg.Tasks = 4
+		cfg.SparseDeltaMerge = false
 		cfg.SparseMerge = sparse
 		res, err := Run(cfg)
 		if err != nil {
@@ -881,7 +883,13 @@ func TestPipelineRandomizedConfigs(t *testing.T) {
 		cfg.Passes = 1 + rng.Intn(5)
 		cfg.Filter = filter
 		cfg.CCOpt = rng.Intn(2) == 0
-		cfg.SparseMerge = rng.Intn(2) == 0
+		switch rng.Intn(3) { // merge payload encoding: delta (default) / sparse / dense
+		case 1:
+			cfg.SparseDeltaMerge, cfg.SparseMerge = false, true
+		case 2:
+			cfg.SparseDeltaMerge = false
+		}
+		cfg.StarBroadcast = rng.Intn(2) == 0
 		cfg.DynamicOffsets = rng.Intn(4) == 0
 		cfg.NoVectorKmerGen = rng.Intn(4) == 0
 		res, err := Run(cfg)

@@ -16,7 +16,7 @@ import (
 // canonicalHashVersion is bumped whenever the set of hashed fields or their
 // normalization changes, invalidating every previously cached result rather
 // than silently aliasing old entries.
-const canonicalHashVersion = 2
+const canonicalHashVersion = 3
 
 // CanonicalHash returns a stable hex digest of the run-defining
 // configuration. The encoding is canonical:
@@ -40,10 +40,26 @@ func (c Config) CanonicalHash() string {
 	field("filter.max", c.Filter.Max)
 	field("ccopt", c.CCOpt)
 	field("sparse_merge", c.SparseMerge)
+	// The back-half knobs never change results, but — like the exchange
+	// schedule — they are distinct runs for caching purposes: step timings,
+	// traces and wire-byte counters all differ.
+	field("sparse_delta_merge", c.SparseDeltaMerge)
+	field("star_broadcast", c.StarBroadcast)
+	field("overlap_output", c.OverlapOutput)
 	field("split_components", c.SplitComponents)
 	field("out_dir", c.OutDir)
-	// Normalized prefetch depth: 0 (NoPrefetch), or effective read-ahead.
-	field("prefetch_depth", c.prefetchDepth())
+	// Normalized prefetch depth: 0 (NoPrefetch), or the requested
+	// read-ahead with 0 and 1 both meaning double buffering. Deliberately
+	// NOT prefetchDepth(): that folds in the host's CPU count, and a cache
+	// key must hash identically on every machine.
+	depth := c.PrefetchChunks
+	if depth < 1 {
+		depth = 1
+	}
+	if c.NoPrefetch {
+		depth = 0
+	}
+	field("prefetch_depth", depth)
 	field("dynamic_offsets", c.DynamicOffsets)
 	// 0 is the bulk reference path; any positive value is a distinct
 	// schedule knob even though results are bit-identical, because cached

@@ -14,26 +14,28 @@ import (
 // and re-pin — never let old cached results alias the new scheme silently.
 func TestCanonicalHashGolden(t *testing.T) {
 	def := Config{Tasks: 1, Threads: 1, Passes: 1, CCOpt: true}
-	const wantDef = "76e6360ee8496446aa13f141a8c90b1a2fefe439610196b91177e6cc0dc28991"
+	const wantDef = "6007914d658b83c8dc45645369c2111ca8389bc7822d232f743d83fdc0b8e416"
 	if got := def.CanonicalHash(); got != wantDef {
 		t.Errorf("CanonicalHash(default) = %s, want %s", got, wantDef)
 	}
 
 	full := Config{
-		Tasks:           4,
-		Threads:         8,
-		Passes:          2,
-		Filter:          Filter{Min: 2, Max: 1000},
-		CCOpt:           true,
-		SparseMerge:     true,
-		SplitComponents: 3,
-		OutDir:          "out",
-		PrefetchChunks:  4,
-		DynamicOffsets:  true,
-		NoVectorKmerGen: true,
-		Network:         &mpirt.NetworkModel{Latency: time.Microsecond, BandwidthBytesPerSec: 8e9},
+		Tasks:            4,
+		Threads:          8,
+		Passes:           2,
+		Filter:           Filter{Min: 2, Max: 1000},
+		CCOpt:            true,
+		SparseDeltaMerge: true,
+		StarBroadcast:    true,
+		OverlapOutput:    true,
+		SplitComponents:  3,
+		OutDir:           "out",
+		PrefetchChunks:   4,
+		DynamicOffsets:   true,
+		NoVectorKmerGen:  true,
+		Network:          &mpirt.NetworkModel{Latency: time.Microsecond, BandwidthBytesPerSec: 8e9},
 	}
-	const wantFull = "650332c10166de3041abba56ffa3cb1115cb2cf1278c7519d5910c92f108da5b"
+	const wantFull = "b4bdd6551d335ab9cbcb6f69ccb245a37fd5225da7d1d70c9269d7fd248630d4"
 	if got := full.CanonicalHash(); got != wantFull {
 		t.Errorf("CanonicalHash(full) = %s, want %s", got, wantFull)
 	}
@@ -103,6 +105,9 @@ func TestCanonicalHashSensitivity(t *testing.T) {
 		"filter.max":            func(c *Config) { c.Filter.Max = 50 },
 		"ccopt":                 func(c *Config) { c.CCOpt = false },
 		"sparse_merge":          func(c *Config) { c.SparseMerge = true },
+		"sparse_delta_merge":    func(c *Config) { c.SparseDeltaMerge = true },
+		"star_broadcast":        func(c *Config) { c.StarBroadcast = true },
+		"overlap_output":        func(c *Config) { c.OverlapOutput = true },
 		"split_components":      func(c *Config) { c.SplitComponents = 2 },
 		"out_dir":               func(c *Config) { c.OutDir = "d" },
 		"prefetch_depth":        func(c *Config) { c.PrefetchChunks = 3 },

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"metaprep/internal/fastq"
+	"metaprep/internal/obsv"
 	"metaprep/internal/par"
 )
 
@@ -32,48 +34,88 @@ type mergeResult struct {
 // result into component labels, and broadcasts labels plus the largest
 // component to every task. All tasks return the same mergeResult (the
 // labels slice is shared read-only across tasks).
+//
+// Three merge payload encodings exist: the default pipelined delta schedule
+// (SparseDeltaMerge — each non-root rank streams only the parent entries
+// that changed since its previous snapshot, round 0 being the full sparse
+// baseline), the one-shot sparse pairs (SparseMerge), and the one-shot
+// dense 4R-byte array. The label broadcast runs over the binomial tree by
+// default, or rank 0's flat star under the StarBroadcast ablation knob.
 func (st *taskState) mergeCC() mergeResult {
 	T := st.p.cfg.Threads
-	sparse := st.p.cfg.SparseMerge
 
 	// Tree merge: senders snapshot their parent array (the transfer's
-	// payload: 4R bytes dense, or 8 bytes per non-singleton entry sparse);
-	// receivers absorb the payload as implicit edges.
+	// payload: 4R bytes dense, 8 bytes per non-singleton entry sparse, or 8
+	// bytes per changed entry in the delta schedule); receivers absorb the
+	// payload as implicit edges.
 	var mergeTime time.Duration
 	tm0 := time.Now()
-	st.t.TreeMerge(tagMerge,
-		func(dst int) (any, int) {
-			if sparse {
+	switch {
+	case st.p.cfg.SparseDeltaMerge:
+		st.t.PipelinedTreeMerge(tagDelta,
+			func(round int) (any, int) {
+				// Ownership of the pairs slice transfers to the receiver, so
+				// each round snapshots into a fresh slice; rounds after the
+				// baseline carry only what the previous round's absorbs
+				// changed, which is where the wire-byte saving comes from.
+				t0 := time.Now()
+				pairs := st.dsu.SnapshotDelta(nil)
+				mergeTime += time.Since(t0)
+				return pairs, 4 * len(pairs)
+			},
+			func(src, round int, payload any) {
+				t0 := time.Now()
+				st.dsu.AbsorbPairs(payload.([]uint32), T)
+				mergeTime += time.Since(t0)
+			},
+		)
+	case st.p.cfg.SparseMerge:
+		st.t.TreeMerge(tagMerge,
+			func(dst int) (any, int) {
 				pairs := st.dsu.SnapshotSparse(nil)
 				return pairs, 4 * len(pairs)
-			}
-			snap := st.dsu.Snapshot(nil)
-			return snap, 4 * len(snap)
-		},
-		func(src int, payload any) {
-			t0 := time.Now()
-			if sparse {
+			},
+			func(src int, payload any) {
+				t0 := time.Now()
 				st.dsu.AbsorbPairs(payload.([]uint32), T)
-			} else {
+				mergeTime += time.Since(t0)
+			},
+		)
+	default:
+		st.t.TreeMerge(tagMerge,
+			func(dst int) (any, int) {
+				snap := st.dsu.Snapshot(nil)
+				return snap, 4 * len(snap)
+			},
+			func(src int, payload any) {
+				t0 := time.Now()
 				st.dsu.Absorb(payload.([]uint32), T)
-			}
-			mergeTime += time.Since(t0)
-		},
-	)
+				mergeTime += time.Since(t0)
+			},
+		)
+	}
 	commDur := st.t.TakeCommTime()
 	st.rep.Steps.MergeComm += commDur
 	st.stepSpan("Merge-Comm", tm0, commDur)
 
-	// Rank 0 flattens, finds the largest component, and — for component
-	// splitting — the N largest roots.
+	// Rank 0 flattens, sizes the components once (in parallel), and derives
+	// the largest component plus — for component splitting — the N largest
+	// roots from that single count.
 	var res mergeResult
 	if st.rank == 0 {
 		t0 := time.Now()
 		labels := st.dsu.Flatten(T)
-		root, size := st.dsu.LargestComponent()
+		sizes := st.dsu.ComponentSizesPar(T)
+		var root uint32
+		var size int
+		for r, s := range sizes {
+			if s > size || (s == size && r < root) {
+				root, size = r, s
+			}
+		}
 		res = mergeResult{labels: labels, largestRoot: root, largestSize: size}
 		if n := st.p.cfg.SplitComponents; n > 0 {
-			res.topRoots = topComponents(st.dsu.ComponentSizes(), n)
+			res.topRoots = topComponents(sizes, n)
 		}
 		mergeTime += time.Since(t0)
 	}
@@ -83,7 +125,11 @@ func (st *taskState) mergeCC() mergeResult {
 	// Broadcast the global component list (§3.6: "The global components
 	// list in Rank 0 is broadcast to all other tasks").
 	tb0 := time.Now()
-	st.t.Broadcast(tagBcast,
+	bcast := st.t.TreeBroadcast
+	if st.p.cfg.StarBroadcast {
+		bcast = st.t.StarBroadcast
+	}
+	bcast(tagBcast,
 		func(dst int) (any, int) { return res, 4 * len(res.labels) },
 		func(src int, payload any) { res = payload.(mergeResult) },
 	)
@@ -94,28 +140,68 @@ func (st *taskState) mergeCC() mergeResult {
 }
 
 // topComponents returns the roots of the n largest components, largest
-// first, ties broken toward the smaller root.
+// first, ties broken toward the smaller root. Selection is bounded: a
+// size-n heap ordered worst-at-top replaces the full sort, so a run with C
+// components pays O(C log n) instead of O(C log C).
 func topComponents(sizes map[uint32]int, n int) []uint32 {
 	type comp struct {
 		root uint32
 		size int
 	}
-	all := make([]comp, 0, len(sizes))
-	for r, s := range sizes {
-		all = append(all, comp{r, s})
+	if n > len(sizes) {
+		n = len(sizes)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].size != all[j].size {
-			return all[i].size > all[j].size
+	if n <= 0 {
+		return nil
+	}
+	// worse orders the heap: the kept component easiest to evict (smallest
+	// size, then largest root) sits at index 0.
+	worse := func(a, b comp) bool {
+		if a.size != b.size {
+			return a.size < b.size
 		}
-		return all[i].root < all[j].root
-	})
-	if n > len(all) {
-		n = len(all)
+		return a.root > b.root
 	}
-	roots := make([]uint32, n)
-	for i := range roots {
-		roots[i] = all[i].root
+	heap := make([]comp, 0, n)
+	siftDown := func(i int) {
+		for {
+			m := i
+			if l := 2*i + 1; l < len(heap) && worse(heap[l], heap[m]) {
+				m = l
+			}
+			if r := 2*i + 2; r < len(heap) && worse(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for root, size := range sizes {
+		c := comp{root, size}
+		if len(heap) < n {
+			heap = append(heap, c)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !worse(heap[i], heap[p]) {
+					break
+				}
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			}
+			continue
+		}
+		if worse(heap[0], c) {
+			heap[0] = c
+			siftDown(0)
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return worse(heap[j], heap[i]) })
+	roots := make([]uint32, len(heap))
+	for i, c := range heap {
+		roots[i] = c.root
 	}
 	return roots
 }
@@ -126,9 +212,14 @@ func topComponents(sizes map[uint32]int, n int) []uint32 {
 // per thread — the largest component and the rest; with SplitComponents
 // there is one group per top component plus the rest. The returned slice is
 // indexed [group][thread].
-func (st *taskState) writeOutput(res mergeResult) ([][]string, error) {
+//
+// fetchers, when non-nil, holds one per-thread chunk prefetcher (already
+// streaming — the pipeline starts them before the merge so output reads
+// overlap Merge-Comm/MergeCC) and selects the zero-copy path: records whose
+// raw bytes are already canonical are blitted verbatim into the group
+// writers. A nil fetchers slice is the reader-based reference path.
+func (st *taskState) writeOutput(res mergeResult, fetchers []*chunkFetcher) ([][]string, error) {
 	cfg := st.p.cfg
-	idx := st.p.idx
 	T := cfg.Threads
 
 	roots := res.topRoots
@@ -152,6 +243,20 @@ func (st *taskState) writeOutput(res mergeResult) ([][]string, error) {
 	}
 
 	t0 := time.Now()
+	// The zero-copy path resolves each read's output group through a flat
+	// array instead of a per-record map probe; built in parallel once, it
+	// costs 4R transient bytes and removes the lookup from the blit loop.
+	var groupArr []int32
+	if fetchers != nil {
+		groupArr = make([]int32, len(res.labels))
+		par.For(T, len(res.labels), func(i int) {
+			if g, ok := groupOf[res.labels[i]]; ok {
+				groupArr[i] = int32(g)
+			} else {
+				groupArr[i] = int32(other)
+			}
+		})
+	}
 	paths := make([][]string, other+1)
 	for g := range paths {
 		paths[g] = make([]string, T)
@@ -159,8 +264,19 @@ func (st *taskState) writeOutput(res mergeResult) ([][]string, error) {
 	errs := make([]error, T)
 	bytesOut := make([]int64, T)
 	recsOut := make([]int64, T)
+	rawRecs := make([]int64, T)
+	reencRecs := make([]int64, T)
 	par.Run(T, func(t int) {
 		files := make([]*os.File, other+1)
+		// Backstop close for the error paths; the success path below closes
+		// explicitly and reports the error.
+		defer func() {
+			for _, f := range files {
+				if f != nil {
+					f.Close()
+				}
+			}
+		}()
 		writers := make([]*fastq.Writer, other+1)
 		for g := range files {
 			path := filepath.Join(cfg.OutDir,
@@ -171,49 +287,51 @@ func (st *taskState) writeOutput(res mergeResult) ([][]string, error) {
 				errs[t] = err
 				return
 			}
-			defer f.Close()
 			files[g] = f
 			writers[g] = fastq.NewWriter(f)
 		}
-		for _, ci := range st.p.threadChunks[st.rank][t] {
-			c := &idx.Chunks[ci]
-			r := fastq.NewReader(io.NewSectionReader(st.files[c.File], c.Offset, c.Size))
-			for n := int32(0); n < c.Records; n++ {
-				rec, err := r.Next()
-				if err != nil {
-					errs[t] = fmt.Errorf("core: output re-read chunk %d: %w", ci, err)
-					return
-				}
-				g, ok := groupOf[res.labels[idx.ReadIDOf(c, n)]]
-				if !ok {
-					g = other
-				}
-				if err := writers[g].Write(rec); err != nil {
-					errs[t] = err
-					return
-				}
-			}
+		var err error
+		if fetchers != nil {
+			rawRecs[t], reencRecs[t], err = st.writeChunksZeroCopy(fetchers[t], groupArr, writers, t)
+		} else {
+			err = st.writeChunksReader(groupOf, other, res.labels, writers, t)
 		}
-		for _, w := range writers {
+		if err != nil {
+			errs[t] = err
+			return
+		}
+		for g, w := range writers {
 			if err := w.Flush(); err != nil {
 				errs[t] = err
 				return
 			}
 			bytesOut[t] += w.BytesWritten()
 			recsOut[t] += w.Count()
+			f := files[g]
+			files[g] = nil
+			// A failed Close can drop flushed-but-unwritten data on some
+			// filesystems; it must surface, not vanish into a defer.
+			if err := f.Close(); err != nil {
+				errs[t] = err
+				return
+			}
 		}
 	})
 	d := time.Since(t0)
 	st.rep.Steps.CCIO += d
 	st.stepSpan("CC-I/O", t0, d)
 	if st.obs != nil {
-		var b, r int64
+		var b, r, vr, rr int64
 		for t := 0; t < T; t++ {
 			b += bytesOut[t]
 			r += recsOut[t]
+			vr += rawRecs[t]
+			rr += reencRecs[t]
 		}
 		st.counter("ccio/bytes_written").Add(uint64(b))
 		st.counter("ccio/records").Add(uint64(r))
+		st.counter("ccio/verbatim_records").Add(uint64(vr))
+		st.counter("ccio/reencoded_records").Add(uint64(rr))
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -223,22 +341,169 @@ func (st *taskState) writeOutput(res mergeResult) ([][]string, error) {
 	return paths, nil
 }
 
+// writeChunksZeroCopy drains one thread's prefetched chunks, blitting each
+// record's raw byte span straight into its group writer when the span is
+// already in canonical form and re-encoding the rare rest (CRLF input,
+// '+ID' separator lines, a missing final newline) so the output is
+// bit-identical to the reader-based path. Because NextRaw's spans tile the
+// chunk buffer, adjacent verbatim records bound for the same group coalesce
+// into one run and ship as a single write — on clustered components (the
+// common case: long stretches of a chunk belong to the largest component)
+// the per-record writer call disappears from the hot loop.
+func (st *taskState) writeChunksZeroCopy(fetch *chunkFetcher, groupArr []int32,
+	writers []*fastq.Writer, t int) (verbatim, reencoded int64, err error) {
+	defer fetch.close()
+	idx := st.p.idx
+	var sc fastq.ChunkScanner
+	for {
+		if err := st.ctx.Err(); err != nil {
+			return verbatim, reencoded, err
+		}
+		w0 := time.Now()
+		ci, buf, err := fetch.next()
+		if buf == nil && err == nil {
+			return verbatim, reencoded, nil
+		}
+		st.obs.RecordSpan(st.rank, obsv.TidWorker+t, "detail", "output-chunk-wait", w0, time.Since(w0), nil)
+		if err != nil {
+			return verbatim, reencoded, err
+		}
+		c := &idx.Chunks[ci]
+		if c.Canonical {
+			// The index marked every record of this chunk as canonically
+			// stored, and a record's group depends only on its read ID, so
+			// each same-group run of records is one contiguous blit with no
+			// parsing at all. Interior run boundaries are found by counting
+			// newlines (4 per record); a run reaching the chunk's end —
+			// including the whole-chunk single-group case — needs no scan.
+			pos := 0
+			for n := int32(0); n < c.Records; {
+				g := groupArr[idx.ReadIDOf(c, n)]
+				runEnd := n + 1
+				for runEnd < c.Records && groupArr[idx.ReadIDOf(c, runEnd)] == g {
+					runEnd++
+				}
+				end := len(buf)
+				if runEnd < c.Records {
+					end = pos
+					for nl := 4 * (runEnd - n); nl > 0; nl-- {
+						j := bytes.IndexByte(buf[end:], '\n')
+						if j < 0 {
+							return verbatim, reencoded, fmt.Errorf("core: output re-read chunk %d: %w", ci, fastq.ErrFormat)
+						}
+						end += j + 1
+					}
+				}
+				if err := writers[g].WriteRawN(buf[pos:end], int64(runEnd-n)); err != nil {
+					return verbatim, reencoded, err
+				}
+				verbatim += int64(runEnd - n)
+				pos = end
+				n = runEnd
+			}
+			fetch.release(buf)
+			continue
+		}
+		sc.Reset(buf)
+		// run is the current contiguous span of same-group verbatim records;
+		// extending it is a pure reslice because consecutive raw spans abut.
+		var run []byte
+		var runG int32
+		var runN int64
+		flush := func() error {
+			if runN == 0 {
+				return nil
+			}
+			err := writers[runG].WriteRawN(run, runN)
+			run, runN = nil, 0
+			return err
+		}
+		for n := int32(0); n < c.Records; n++ {
+			rec, raw, verb, err := sc.NextRaw()
+			if err != nil {
+				return verbatim, reencoded, fmt.Errorf("core: output re-read chunk %d: %w", ci, err)
+			}
+			g := groupArr[idx.ReadIDOf(c, n)]
+			if verb {
+				verbatim++
+				if runN > 0 && g == runG {
+					run = run[:len(run)+len(raw)]
+					runN++
+					continue
+				}
+				if err := flush(); err != nil {
+					return verbatim, reencoded, err
+				}
+				run, runG, runN = raw, g, 1
+				continue
+			}
+			if err := flush(); err != nil {
+				return verbatim, reencoded, err
+			}
+			reencoded++
+			if err := writers[g].Write(rec); err != nil {
+				return verbatim, reencoded, err
+			}
+		}
+		if err := flush(); err != nil {
+			return verbatim, reencoded, err
+		}
+		fetch.release(buf)
+	}
+}
+
+// writeChunksReader is the reference CC-I/O path: re-parse every record
+// through fastq.Reader over a section reader and re-serialize it. Kept for
+// the zero-copy parity suite and the OverlapOutput=false fallback.
+func (st *taskState) writeChunksReader(groupOf map[uint32]int, other int,
+	labels []uint32, writers []*fastq.Writer, t int) error {
+	idx := st.p.idx
+	for _, ci := range st.p.threadChunks[st.rank][t] {
+		if err := st.ctx.Err(); err != nil {
+			return err
+		}
+		c := &idx.Chunks[ci]
+		r := fastq.NewReader(io.NewSectionReader(st.files[c.File], c.Offset, c.Size))
+		for n := int32(0); n < c.Records; n++ {
+			rec, err := r.Next()
+			if err != nil {
+				return fmt.Errorf("core: output re-read chunk %d: %w", ci, err)
+			}
+			g, ok := groupOf[labels[idx.ReadIDOf(c, n)]]
+			if !ok {
+				g = other
+			}
+			if err := writers[g].Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // concatFiles concatenates src files into dst (a convenience for callers
 // that want a single LC file; the pipeline itself writes per-thread files
-// as the paper does).
-func concatFiles(dst string, srcs []string) error {
+// as the paper does). One copy buffer is reused across sources, and both
+// the final Flush and the destination Close are error-checked — a short
+// write surfacing only at close time must not be swallowed.
+func concatFiles(dst string, srcs []string) (err error) {
 	out, err := os.Create(dst)
 	if err != nil {
 		return err
 	}
-	defer out.Close()
+	defer func() {
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	bw := bufio.NewWriterSize(out, 1<<20)
+	buf := make([]byte, 256<<10)
 	for _, s := range srcs {
 		f, err := os.Open(s)
 		if err != nil {
 			return err
 		}
-		if _, err := io.Copy(bw, f); err != nil {
+		if _, err := io.CopyBuffer(bw, f, buf); err != nil {
 			f.Close()
 			return err
 		}

@@ -18,6 +18,7 @@ const (
 	tagTuples = 100 // +pass number
 	tagMerge  = 1
 	tagBcast  = 2
+	tagDelta  = 10 // +merge round (pipelined delta merge; rounds ≤ log₂P keep it below tagTuples)
 )
 
 // taskState is everything one simulated MPI task owns while the pipeline
@@ -135,8 +136,10 @@ type TaskReport struct {
 	Tuples    uint64
 	Edges     uint64
 	BytesSent int64
-	// MergeBytes is the portion of BytesSent spent in the MergeCC tree
-	// (dense: 4R per send; sparse: 8 bytes per non-singleton read).
+	// MergeBytes is the portion of BytesSent spent in the MergeCC tree and
+	// label broadcast (dense: 4R per send; sparse: 8 bytes per non-singleton
+	// read; delta: 8 bytes per entry changed since the sender's previous
+	// round).
 	MergeBytes int64
 	// CCIters is the largest Algorithm 1 iteration count across this
 	// task's passes (§3.5 observes the first iteration dominates).
@@ -288,6 +291,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			task.Barrier()
 		}
 
+		// With OverlapOutput, the CC-I/O chunk prefetchers start before the
+		// merge so the output re-read streams from disk while Merge-Comm and
+		// MergeCC are still in flight. The deferred close covers the abort
+		// paths (close is idempotent; writeOutput closes them itself).
+		var outFetchers []*chunkFetcher
+		if cfg.OutDir != "" && cfg.OverlapOutput {
+			outFetchers = st.startOutputFetchers()
+			defer func() {
+				for _, f := range outFetchers {
+					f.close()
+				}
+			}()
+		}
 		preMergeBytes := task.BytesSent()
 		res := st.mergeCC()
 		mergeBytes := task.BytesSent() - preMergeBytes
@@ -298,7 +314,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			paths, err := st.writeOutput(res)
+			paths, err := st.writeOutput(res, outFetchers)
 			if err != nil {
 				return err
 			}
@@ -387,7 +403,26 @@ func (st *taskState) memoryBytes() int64 {
 	mem += 2 * 4 * int64(idx.Reads)
 	buffersPerThread := int64(1 + st.p.cfg.prefetchDepth())
 	mem += int64(st.p.cfg.Threads) * buffersPerThread * st.maxChunkBytes
+	if st.p.cfg.SparseDeltaMerge {
+		// SnapshotDelta's shadow baseline (lazily allocated on senders).
+		mem += 4 * int64(idx.Reads)
+	}
 	return mem
+}
+
+// startOutputFetchers spins up one chunk prefetcher per thread over that
+// thread's CC-I/O chunk list. Called before mergeCC when OverlapOutput is
+// on, so the first prefetch-depth chunks are read while the merge tree and
+// label broadcast run. The fetchers reuse the KmerGen prefetch tracks in
+// the trace (the KmerGen readers are finished by now).
+func (st *taskState) startOutputFetchers() []*chunkFetcher {
+	cfg := st.p.cfg
+	fs := make([]*chunkFetcher, cfg.Threads)
+	for t := range fs {
+		fs[t] = newChunkFetcher(st.p.threadChunks[st.rank][t], st.p.idx, st.files,
+			cfg.prefetchDepth(), st.obs, st.rank, obsv.TidPrefetch+t)
+	}
+	return fs
 }
 
 // MergeLC concatenates all largest-component output files into one FASTQ

@@ -46,6 +46,10 @@ type chunkFetcher struct {
 	filled chan fetchedChunk
 	free   chan []byte
 	stop   chan struct{}
+	// stopped latches close() so both the consuming thread and the task's
+	// deferred cleanup may call it (the output fetchers are closed by
+	// whichever path runs — never concurrently, par.Run joins first).
+	stopped bool
 }
 
 // newChunkFetcher starts fetching the given chunk list. depth is the number
@@ -140,9 +144,10 @@ func (f *chunkFetcher) release(buf []byte) {
 }
 
 // close stops the reader goroutine. It is safe to call on any path,
-// including after errors, and leaves the fetcher drained.
+// including after errors and repeatedly, and leaves the fetcher drained.
 func (f *chunkFetcher) close() {
-	if f.stop != nil {
+	if f.stop != nil && !f.stopped {
+		f.stopped = true
 		close(f.stop)
 	}
 }

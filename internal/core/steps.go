@@ -64,13 +64,16 @@ func (st *taskState) localSort(s int, sl sortLayout) {
 	obs := st.obs
 	// Stage 1: partition. Work units are the P×T source regions of kmerIn.
 	// The bin→thread map is a flat lookup table over this task's bin range
-	// (the same shape as KmerGen's owner table): one array read per tuple
-	// instead of binCuts.find's per-tuple scan over the cut list.
-	thrCuts := binCuts(st.p.pt.ThreadCuts(s, st.rank))
+	// (the same shape as KmerGen's owner table), filled by walking the cut
+	// list once — cuts are contiguous and ordered, so each thread's bin
+	// range [cuts[d], cuts[d+1]) is one contiguous fill.
+	thrCuts := st.p.pt.ThreadCuts(s, st.rank)
 	binLo := thrCuts[0]
 	lut := make([]uint16, thrCuts[len(thrCuts)-1]-binLo)
-	for b := range lut {
-		lut[b] = uint16(thrCuts.find(binLo + b))
+	for d := 0; d < len(thrCuts)-1; d++ {
+		for b := thrCuts[d] - binLo; b < thrCuts[d+1]-binLo; b++ {
+			lut[b] = uint16(d)
+		}
 	}
 	par.For(T, nr, func(r int) {
 		cursor := make([]uint64, T)
@@ -128,21 +131,6 @@ func binOf128(hi, lo uint64, k, m int) int {
 		return int(lo)
 	}
 	return int(lo>>shift | hi<<(64-shift))
-}
-
-// binCuts is a precomputed boundary list for locating a bin's thread
-// partition with binary search over T+1 cut points.
-type binCuts []int
-
-func (c binCuts) find(bin int) int {
-	// Linear scan is faster than sort.Search for the small T used per task;
-	// partitions are contiguous and ordered.
-	for d := 1; d < len(c)-1; d++ {
-		if bin < c[d] {
-			return d - 1
-		}
-	}
-	return len(c) - 2
 }
 
 // localCC runs §3.5: every thread walks its sorted partition, turns each

@@ -105,6 +105,7 @@ func TestStreamingParityWithNetworkAndFilter(t *testing.T) {
 	cfg.Threads = 2
 	cfg.Passes = 2
 	cfg.Filter = Filter{Min: 2, Max: 100}
+	cfg.SparseDeltaMerge = false
 	cfg.SparseMerge = true
 	cfg.Network = mpirt.EdisonNetwork()
 	want, err := Run(cfg)
@@ -166,6 +167,9 @@ func TestStreamingCancelMidKmerGen(t *testing.T) {
 	cfg.Tasks = 2
 	cfg.Threads = 2
 	cfg.ExchangeChunkTuples = 16
+	// Keep the prefetch goroutines in play on single-CPU hosts too — this
+	// test exists to check they exit.
+	cfg.PrefetchChunks = 2
 
 	ctx := newChunkCancelCtx(3)
 	res, err := RunContext(ctx, cfg)

@@ -75,6 +75,12 @@ type Reader struct {
 	off int64
 	// n is the number of records returned so far.
 	n int64
+	// lineNL and lineCR describe the last readLine call: whether the line
+	// was '\n'-terminated and whether a trailing '\r' was stripped.
+	lineNL, lineCR bool
+	// verbatim reports whether the last record's on-disk bytes equal its
+	// canonical Record.Bytes encoding (see Verbatim).
+	verbatim bool
 }
 
 // NewReader returns a Reader consuming r.
@@ -91,6 +97,7 @@ func (r *Reader) Count() int64 { return r.n }
 // readLine reads one newline-terminated line, stripping the trailing '\n'
 // (and '\r' for CRLF input), appending into buf and returning the line.
 func (r *Reader) readLine() ([]byte, error) {
+	r.lineNL, r.lineCR = false, false
 	line, err := r.br.ReadSlice('\n')
 	n := len(line)
 	if err == bufio.ErrBufferFull {
@@ -110,15 +117,18 @@ func (r *Reader) readLine() ([]byte, error) {
 			r.off += int64(n)
 			if line[len(line)-1] == '\r' {
 				line = line[:len(line)-1]
+				r.lineCR = true
 			}
 			return line, nil
 		}
 		return nil, err
 	}
 	r.off += int64(n)
+	r.lineNL = true
 	line = line[:len(line)-1]
 	if len(line) > 0 && line[len(line)-1] == '\r' {
 		line = line[:len(line)-1]
+		r.lineCR = true
 	}
 	return line, nil
 }
@@ -130,6 +140,7 @@ func (r *Reader) Next() (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
+	verb := r.lineNL && !r.lineCR
 	if len(hdr) == 0 || hdr[0] != '@' {
 		return Record{}, fmt.Errorf("%w: record %d: header %q does not start with '@'", ErrFormat, r.n, clip(hdr))
 	}
@@ -138,23 +149,34 @@ func (r *Reader) Next() (Record, error) {
 	if err != nil {
 		return Record{}, fmt.Errorf("%w: record %d: truncated after header", ErrFormat, r.n)
 	}
+	verb = verb && r.lineNL && !r.lineCR
 	r.rec.Seq = append(r.rec.Seq[:0], seq...)
 	sep, err := r.readLine()
 	if err != nil || len(sep) == 0 || sep[0] != '+' {
 		return Record{}, fmt.Errorf("%w: record %d: bad '+' separator line", ErrFormat, r.n)
 	}
+	verb = verb && r.lineNL && !r.lineCR && len(sep) == 1
 	qual, err := r.readLine()
 	if err != nil {
 		return Record{}, fmt.Errorf("%w: record %d: truncated quality line", ErrFormat, r.n)
 	}
+	verb = verb && r.lineNL && !r.lineCR
 	if len(qual) != len(seq) {
 		return Record{}, fmt.Errorf("%w: record %d: quality length %d != sequence length %d",
 			ErrFormat, r.n, len(qual), len(seq))
 	}
 	r.rec.Qual = append(r.rec.Qual[:0], qual...)
+	r.verbatim = verb
 	r.n++
 	return r.rec, nil
 }
+
+// Verbatim reports whether the record most recently returned by Next was
+// stored in canonical form — '\n'-only line endings, a bare '+' separator,
+// and a trailing newline — i.e. its on-disk bytes equal Record.Bytes. The
+// index builder records this per chunk so the zero-copy CC-I/O path can blit
+// whole chunks without re-parsing them.
+func (r *Reader) Verbatim() bool { return r.verbatim }
 
 func clip(b []byte) []byte {
 	if len(b) > 40 {
@@ -181,6 +203,22 @@ func (w *Writer) Write(rec Record) error {
 	buf := w.bw.AvailableBuffer()
 	n, err := w.bw.Write(rec.Bytes(buf))
 	w.bytes += int64(n)
+	return err
+}
+
+// WriteRaw appends one record's pre-serialized bytes verbatim — the
+// zero-copy CC-I/O path. raw must be exactly one record in canonical form
+// (ChunkScanner.NextRaw's verbatim contract), so Count and BytesWritten stay
+// consistent with the Write path.
+func (w *Writer) WriteRaw(raw []byte) error { return w.WriteRawN(raw, 1) }
+
+// WriteRawN appends a contiguous span of n canonical records in one write —
+// the run-coalesced blit of the zero-copy CC-I/O path, which batches every
+// adjacent record bound for the same output file into a single copy.
+func (w *Writer) WriteRawN(raw []byte, n int64) error {
+	w.n += n
+	m, err := w.bw.Write(raw)
+	w.bytes += int64(m)
 	return err
 }
 

@@ -50,20 +50,30 @@ func (s *ChunkScanner) Count() int64 { return s.n }
 // line without a trailing newline is returned as-is; io.EOF is returned
 // only once the buffer is exhausted.
 func (s *ChunkScanner) line() ([]byte, error) {
+	ln, _, _, err := s.rawLine()
+	return ln, err
+}
+
+// rawLine is line() extended with the two facts the verbatim check needs:
+// whether the line was '\n'-terminated in the buffer and whether a '\r' was
+// stripped.
+func (s *ChunkScanner) rawLine() (ln []byte, nl, cr bool, err error) {
 	if s.pos >= len(s.buf) {
-		return nil, io.EOF
+		return nil, false, false, io.EOF
 	}
-	ln := s.buf[s.pos:]
+	ln = s.buf[s.pos:]
 	if i := bytes.IndexByte(ln, '\n'); i >= 0 {
 		ln = ln[:i]
 		s.pos += i + 1
+		nl = true
 	} else {
 		s.pos = len(s.buf)
 	}
 	if len(ln) > 0 && ln[len(ln)-1] == '\r' {
 		ln = ln[:len(ln)-1]
+		cr = true
 	}
-	return ln, nil
+	return ln, nl, cr, nil
 }
 
 // Next returns the next record, or io.EOF after the last one. The returned
@@ -94,4 +104,45 @@ func (s *ChunkScanner) Next() (Record, error) {
 	}
 	s.n++
 	return Record{ID: hdr[1:], Seq: seq, Qual: qual}, nil
+}
+
+// NextRaw is Next extended with the record's raw byte span in the scanned
+// buffer and whether that span is byte-identical to the record's canonical
+// serialization (Record.Bytes): '\n'-only line endings, a bare '+'
+// separator, and a trailing newline. When verbatim is true the caller can
+// blit raw instead of re-encoding — the zero-copy CC-I/O path; when false
+// (CRLF input, '+ID' separators, or a missing final newline) re-encoding is
+// required for the output to stay canonical. Parse errors are identical to
+// Next's.
+func (s *ChunkScanner) NextRaw() (rec Record, raw []byte, verbatim bool, err error) {
+	start := s.pos
+	hdr, _, crH, err := s.rawLine()
+	if err != nil {
+		return Record{}, nil, false, err
+	}
+	if len(hdr) == 0 || hdr[0] != '@' {
+		return Record{}, nil, false, fmt.Errorf("%w: record %d: header %q does not start with '@'", ErrFormat, s.n, clip(hdr))
+	}
+	seq, _, crS, err := s.rawLine()
+	if err != nil {
+		return Record{}, nil, false, fmt.Errorf("%w: record %d: truncated after header", ErrFormat, s.n)
+	}
+	sep, _, crP, err := s.rawLine()
+	if err != nil || len(sep) == 0 || sep[0] != '+' {
+		return Record{}, nil, false, fmt.Errorf("%w: record %d: bad '+' separator line", ErrFormat, s.n)
+	}
+	qual, nlQ, crQ, err := s.rawLine()
+	if err != nil {
+		return Record{}, nil, false, fmt.Errorf("%w: record %d: truncated quality line", ErrFormat, s.n)
+	}
+	if len(qual) != len(seq) {
+		return Record{}, nil, false, fmt.Errorf("%w: record %d: quality length %d != sequence length %d",
+			ErrFormat, s.n, len(qual), len(seq))
+	}
+	s.n++
+	// Interior lines missing their '\n' would have truncated the parse above,
+	// so only the quality line's terminator, the separator's bareness and any
+	// stripped '\r' distinguish the raw span from the canonical encoding.
+	verbatim = nlQ && len(sep) == 1 && !(crH || crS || crP || crQ)
+	return Record{ID: hdr[1:], Seq: seq, Qual: qual}, s.buf[start:s.pos], verbatim, nil
 }

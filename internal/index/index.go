@@ -95,6 +95,12 @@ type Chunk struct {
 	FirstRead uint32
 	// Records is the number of FASTQ records in the chunk.
 	Records int32
+	// Canonical reports that every record in the chunk is stored in
+	// canonical FASTQ form ('\n'-only line endings, bare '+' separator,
+	// trailing newline), so the chunk's raw bytes are exactly the
+	// concatenation of its records' canonical encodings. The zero-copy
+	// CC-I/O path uses this to blit record runs without parsing.
+	Canonical bool
 	// Hist counts canonical k-mers in this chunk by m-mer prefix bin.
 	Hist []uint32
 }
@@ -245,12 +251,14 @@ func (idx *Index) scanChunks(withHist bool) error {
 					File:      int32(fi),
 					Offset:    off,
 					FirstRead: first,
+					Canonical: true,
 				}
 				if withHist {
 					cur.Hist = make([]uint32, bins)
 				}
 			}
 			cur.Records++
+			cur.Canonical = cur.Canonical && r.Verbatim()
 			idx.Records++
 			fileRecords++
 			idx.TotalBases += int64(len(rec.Seq))

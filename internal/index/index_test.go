@@ -645,3 +645,75 @@ func TestPartitionPropertyQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestChunkCanonicalFlag checks the per-chunk Canonical marker: canonical
+// files mark every chunk, CRLF files mark none, and a file whose only
+// deviation is a missing final newline taints just its last chunk.
+func TestChunkCanonicalFlag(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(91))
+	canon, _ := writeFastq(t, dir, "canon.fastq", rng, 120, 70)
+
+	idx, err := Build([]string{canon}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Chunks) < 2 {
+		t.Fatalf("want multiple chunks, got %d", len(idx.Chunks))
+	}
+	for ci := range idx.Chunks {
+		if !idx.Chunks[ci].Canonical {
+			t.Errorf("canonical file: chunk %d not marked Canonical", ci)
+		}
+	}
+
+	// CRLF line endings: every chunk is tainted.
+	data, err := os.ReadFile(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crlf := filepath.Join(dir, "crlf.fastq")
+	if err := os.WriteFile(crlf, bytes.ReplaceAll(data, []byte("\n"), []byte("\r\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cidx, err := Build([]string{crlf}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range cidx.Chunks {
+		if cidx.Chunks[ci].Canonical {
+			t.Errorf("CRLF file: chunk %d marked Canonical", ci)
+		}
+	}
+
+	// Missing final newline: only the last chunk is tainted.
+	trunc := filepath.Join(dir, "trunc.fastq")
+	if err := os.WriteFile(trunc, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tidx, err := Build([]string{trunc}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range tidx.Chunks {
+		want := ci != len(tidx.Chunks)-1
+		if tidx.Chunks[ci].Canonical != want {
+			t.Errorf("truncated file: chunk %d Canonical = %v, want %v", ci, tidx.Chunks[ci].Canonical, want)
+		}
+	}
+
+	// The flag survives serialization.
+	path := filepath.Join(dir, "t.idx")
+	if err := tidx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range got.Chunks {
+		if got.Chunks[ci].Canonical != tidx.Chunks[ci].Canonical {
+			t.Errorf("round-trip: chunk %d Canonical flipped", ci)
+		}
+	}
+}

@@ -14,8 +14,8 @@ import (
 // fixed-width little-endian fields, and raw histogram arrays.
 
 // fileMagic identifies a serialized Index; the trailing digit is the format
-// version.
-const fileMagic = "MPREPIX1"
+// version. Version 2 added the per-chunk flags word (bit 0: Canonical).
+const fileMagic = "MPREPIX2"
 
 // Write serializes the index to w.
 func (idx *Index) Write(w io.Writer) error {
@@ -58,6 +58,11 @@ func (idx *Index) Write(w io.Writer) error {
 		writeU64(uint64(c.Size))
 		writeU32(c.FirstRead)
 		writeU32(uint32(c.Records))
+		var flags uint32
+		if c.Canonical {
+			flags |= 1
+		}
+		writeU32(flags)
 		for _, v := range c.Hist {
 			writeU32(v)
 		}
@@ -144,6 +149,7 @@ func ReadFrom(r io.Reader) (*Index, error) {
 		c.Size = int64(readU64())
 		c.FirstRead = readU32()
 		c.Records = int32(readU32())
+		c.Canonical = readU32()&1 != 0
 		c.Hist = make([]uint32, bins)
 		for b := range c.Hist {
 			c.Hist[b] = readU32()

@@ -17,7 +17,12 @@
 //	LocalCC      = edges at base rate; passes ≥ 2 run ccOptBoost× faster
 //	               under the §3.5.1 optimization
 //	Merge        = ⌈log P⌉ rounds of 4R-byte transfers plus absorbs
-//	CC-I/O       = re-read + write of the partition output
+//	               (delta merge: 8R·f total wire bytes and R·f absorbs,
+//	               f = NonSingletonFrac, pipelined across ~2P messages)
+//	Broadcast    = the 4R-byte label array back out: ⌈log P⌉ relay hops on
+//	               the binomial tree, or P−1 serialized sends for the star
+//	CC-I/O       = re-read + write of the partition output; with
+//	               OverlapOutput the re-read hides behind Merge+Broadcast
 //
 // The KmerGen-Comm warmup term models the paper's observation that the
 // first pass's exchange is much more expensive than later passes (Table 3:
@@ -53,6 +58,11 @@ type Workload struct {
 	// ChunkBytes the size of one FASTQ chunk, for the memory model.
 	IndexBytes int64
 	ChunkBytes int64
+	// NonSingletonFrac is f, the fraction of reads whose parent pointer is
+	// non-trivial by merge time — the entries a sparse or delta payload must
+	// carry. 0 means unknown and is treated as 1.0 (every read shares a
+	// k-mer with another), the conservative bound for metagenome data.
+	NonSingletonFrac float64
 }
 
 // FromIndex derives a Workload from a built index.
@@ -133,6 +143,18 @@ func PaperWorkload(name string) Workload {
 type Cluster struct {
 	P, T, S     int
 	ChunkTuples int
+	// SparseDeltaMerge models core.Config.SparseDeltaMerge: the §3.6 merge
+	// ships change-only sparse payloads over a multi-round pipeline instead
+	// of one dense 4R-byte array per tree hop, cutting both wire bytes and
+	// absorb work by the workload's NonSingletonFrac.
+	SparseDeltaMerge bool
+	// StarBroadcast models the flat P−1-send label broadcast ablation; the
+	// default is the ⌈log P⌉-hop binomial TreeBroadcast.
+	StarBroadcast bool
+	// OverlapOutput models the overlapped CC-I/O: the output re-read streams
+	// while Merge-Comm/MergeCC run, so only the un-hidden read time is
+	// charged to CC-I/O.
+	OverlapOutput bool
 }
 
 // Steps is the model's per-step prediction, aligned with core.StepTimes.
@@ -325,13 +347,82 @@ func Predict(cal Calibration, w Workload, c Cluster) Steps {
 		for step := 1; step < c.P; step <<= 1 {
 			rounds++
 		}
-		bytesPerRound := 4 * float64(w.Reads)
-		s.MergeComm = sec(float64(rounds)*bytesPerRound*(1/cal.CommBW+cal.CommWarmup/S)) +
-			time.Duration(rounds)*cal.Latency
-		s.MergeCC = sec(float64(rounds) * float64(w.Reads) / (T * cal.AbsorbOpsPerSec))
+		labelBytes := 4 * float64(w.Reads)
+		f := w.NonSingletonFrac
+		if f <= 0 || f > 1 {
+			f = 1
+		}
+		if c.SparseDeltaMerge {
+			// Pipelined delta merge: across all rounds each non-singleton
+			// entry crosses the wire as one 8-byte (vertex, parent) pair per
+			// hop it has not already been seen on — ≈ 2·4R·f bytes total on
+			// the critical inbound path — and the multi-round schedule costs
+			// ~2P messages instead of one per hop. Absorb work shrinks the
+			// same way: rank 0 folds ≈ R·f pairs once, not rounds·R entries.
+			deltaBytes := 2 * labelBytes * f
+			s.MergeComm = sec(deltaBytes*(1/cal.CommBW+cal.CommWarmup/S)) +
+				time.Duration(2*c.P)*cal.Latency
+			s.MergeCC = sec(float64(w.Reads) * f / (T * cal.AbsorbOpsPerSec))
+		} else {
+			s.MergeComm = sec(float64(rounds)*labelBytes*(1/cal.CommBW+cal.CommWarmup/S)) +
+				time.Duration(rounds)*cal.Latency
+			s.MergeCC = sec(float64(rounds) * float64(w.Reads) / (T * cal.AbsorbOpsPerSec))
+		}
+		// Label broadcast (§3.6): the binomial tree's critical path is one
+		// 4R-byte hop per level; the star ablation serializes P−1 sends on
+		// rank 0's link.
+		bcastHops := float64(rounds)
+		if c.StarBroadcast {
+			bcastHops = P - 1
+		}
+		s.MergeComm += sec(bcastHops*labelBytes/cal.CommBW) +
+			time.Duration(bcastHops)*cal.Latency
 	}
-	s.CCIO = sec(diskTask/readBW + diskTask/writeBW)
+	ccRead := sec(diskTask / readBW)
+	if c.OverlapOutput {
+		// The output re-read streams while Merge-Comm and MergeCC are in
+		// flight, so only the portion the merge cannot hide is charged.
+		hidden := s.MergeComm + s.MergeCC
+		if hidden > ccRead {
+			hidden = ccRead
+		}
+		ccRead -= hidden
+	}
+	s.CCIO = ccRead + sec(diskTask/writeBW)
 	return s
+}
+
+// MergeWireBytes returns the model's total MergeCC + broadcast wire volume
+// in bytes for a cluster — the quantity the delta-tree schedule shrinks
+// versus the dense star (EXPERIMENTS.md's modeled ablation). Merge-up bytes
+// count every tree hop; broadcast bytes count every edge of the fan-out
+// (tree and star both move (P−1)·4R bytes in total — the star's saving is
+// serialization on rank 0's link, not volume).
+func MergeWireBytes(w Workload, c Cluster) int64 {
+	if c.P <= 1 {
+		return 0
+	}
+	rounds := 0
+	for step := 1; step < c.P; step <<= 1 {
+		rounds++
+	}
+	labelBytes := 4 * float64(w.Reads)
+	f := w.NonSingletonFrac
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	var up float64
+	if c.SparseDeltaMerge {
+		// Change-only rounds mean each non-singleton entry crosses each hop
+		// of its path to rank 0 once, as an 8-byte (vertex, parent) pair.
+		// The average binomial-tree path length is the average popcount of
+		// 0..P−1 ≈ ⌈log₂P⌉/2.
+		up = float64(rounds) / 2 * 2 * labelBytes * f
+	} else {
+		up = float64(c.P-1) * labelBytes
+	}
+	bcast := float64(c.P-1) * labelBytes
+	return int64(up + bcast)
 }
 
 // MemoryPerTask evaluates §3.7's per-task memory inventory in bytes:

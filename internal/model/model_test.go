@@ -235,3 +235,114 @@ func TestPredictDegenerateDims(t *testing.T) {
 		t.Errorf("degenerate cluster predicted %v", s.Total())
 	}
 }
+
+func TestPredictBackHalfKnobs(t *testing.T) {
+	// The back-half knobs must only move the back-half steps: delta merge
+	// shrinks MergeComm and MergeCC, the star broadcast grows MergeComm, and
+	// overlapped output shrinks CC-I/O — the front of the pipeline is
+	// untouched by all three.
+	w := PaperWorkload("MM")
+	base := Predict(Edison(), w, Cluster{P: 16, T: 24, S: 2})
+
+	assertFrontUnchanged := func(name string, got Steps) {
+		t.Helper()
+		if got.KmerGenIO != base.KmerGenIO || got.KmerGen != base.KmerGen ||
+			got.KmerGenComm != base.KmerGenComm || got.LocalSort != base.LocalSort ||
+			got.LocalCC != base.LocalCC {
+			t.Errorf("%s changed a front-half step: %+v vs %+v", name, got, base)
+		}
+	}
+
+	delta := Predict(Edison(), w, Cluster{P: 16, T: 24, S: 2, SparseDeltaMerge: true})
+	assertFrontUnchanged("delta", delta)
+	if delta.MergeComm >= base.MergeComm {
+		t.Errorf("delta MergeComm %v did not improve on dense %v", delta.MergeComm, base.MergeComm)
+	}
+	if delta.MergeCC >= base.MergeCC {
+		t.Errorf("delta MergeCC %v did not improve on dense %v", delta.MergeCC, base.MergeCC)
+	}
+
+	star := Predict(Edison(), w, Cluster{P: 16, T: 24, S: 2, StarBroadcast: true})
+	assertFrontUnchanged("star", star)
+	if star.MergeComm <= base.MergeComm {
+		t.Errorf("star MergeComm %v not worse than tree %v", star.MergeComm, base.MergeComm)
+	}
+	if star.MergeCC != base.MergeCC || star.CCIO != base.CCIO {
+		t.Errorf("star broadcast moved a non-broadcast step")
+	}
+
+	overlap := Predict(Edison(), w, Cluster{P: 16, T: 24, S: 2, OverlapOutput: true})
+	assertFrontUnchanged("overlap", overlap)
+	if overlap.CCIO >= base.CCIO {
+		t.Errorf("overlapped CC-I/O %v did not improve on %v", overlap.CCIO, base.CCIO)
+	}
+	if hidden := base.CCIO - overlap.CCIO; hidden > base.MergeComm+base.MergeCC+time.Millisecond {
+		t.Errorf("overlap hid %v, more than the merge phase offers (%v)",
+			hidden, base.MergeComm+base.MergeCC)
+	}
+
+	// On a single node there is no merge phase to hide behind and no merge
+	// or broadcast to restructure: every knob is a no-op at P=1.
+	for _, c := range []Cluster{
+		{P: 1, T: 24, S: 2, SparseDeltaMerge: true},
+		{P: 1, T: 24, S: 2, StarBroadcast: true},
+		{P: 1, T: 24, S: 2, OverlapOutput: true},
+	} {
+		if got := Predict(Edison(), w, c); got != Predict(Edison(), w, Cluster{P: 1, T: 24, S: 2}) {
+			t.Errorf("P=1 cluster %+v changed the prediction", c)
+		}
+	}
+}
+
+func TestPredictNonSingletonFrac(t *testing.T) {
+	// A sparser read graph (smaller f) must shrink the delta merge terms;
+	// f=0 (unknown) must behave exactly like the conservative f=1.
+	w := PaperWorkload("MM")
+	c := Cluster{P: 16, T: 24, S: 2, SparseDeltaMerge: true}
+	full := Predict(Edison(), w, c)
+	wUnknown := w
+	wUnknown.NonSingletonFrac = 0
+	if got := Predict(Edison(), wUnknown, c); got != full {
+		t.Errorf("f=0 differs from f=1: %+v vs %+v", got, full)
+	}
+	wSparse := w
+	wSparse.NonSingletonFrac = 0.1
+	sparse := Predict(Edison(), wSparse, c)
+	if sparse.MergeComm >= full.MergeComm || sparse.MergeCC >= full.MergeCC {
+		t.Errorf("f=0.1 merge (%v, %v) not below f=1 (%v, %v)",
+			sparse.MergeComm, sparse.MergeCC, full.MergeComm, full.MergeCC)
+	}
+	// The dense path ignores f entirely.
+	cd := Cluster{P: 16, T: 24, S: 2}
+	if Predict(Edison(), wSparse, cd) != Predict(Edison(), w, cd) {
+		t.Errorf("NonSingletonFrac leaked into the dense merge")
+	}
+}
+
+func TestMergeWireBytes(t *testing.T) {
+	w := PaperWorkload("HG")
+	R := float64(w.Reads)
+	// Dense at P=16: 15 merge sends + 15 broadcast edges of 4R bytes each.
+	dense := MergeWireBytes(w, Cluster{P: 16})
+	if want := int64(30 * 4 * R); dense != want {
+		t.Errorf("dense wire bytes = %d, want %d", dense, want)
+	}
+	// The delta tree must ship strictly fewer bytes than the dense star at
+	// P=16 — the acceptance criterion's modeled comparison — at every f.
+	for _, f := range []float64{0, 0.3, 1} {
+		wf := w
+		wf.NonSingletonFrac = f
+		delta := MergeWireBytes(wf, Cluster{P: 16, SparseDeltaMerge: true})
+		if delta >= dense {
+			t.Errorf("f=%.1f: delta-tree wire bytes %d not below dense %d", f, delta, dense)
+		}
+	}
+	// Broadcast volume is schedule-independent; star changes serialization,
+	// not bytes.
+	if MergeWireBytes(w, Cluster{P: 16, StarBroadcast: true}) != dense {
+		t.Errorf("star broadcast changed total wire bytes")
+	}
+	if MergeWireBytes(w, Cluster{P: 1}) != 0 {
+		t.Errorf("P=1 has wire bytes")
+	}
+}

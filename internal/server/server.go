@@ -122,11 +122,17 @@ type SubmitRequest struct {
 	KFMax           uint32 `json:"kf_max"`
 	CCOpt           *bool  `json:"ccopt"`
 	SparseMerge     bool   `json:"sparse_merge"`
-	SplitComponents int    `json:"split_components"`
-	OutDir          string `json:"out_dir"`
-	EdisonNet       bool   `json:"edison_net"`
-	PrefetchChunks  int    `json:"prefetch_chunks"`
-	NoPrefetch      bool   `json:"no_prefetch"`
+	// SparseDeltaMerge and OverlapOutput default to on (core.Default);
+	// pointers distinguish "unset" from an explicit false, so clients can
+	// select the one-shot/reader-based reference paths.
+	SparseDeltaMerge *bool  `json:"sparse_delta_merge"`
+	StarBroadcast    bool   `json:"star_broadcast"`
+	OverlapOutput    *bool  `json:"overlap_output"`
+	SplitComponents  int    `json:"split_components"`
+	OutDir           string `json:"out_dir"`
+	EdisonNet        bool   `json:"edison_net"`
+	PrefetchChunks   int    `json:"prefetch_chunks"`
+	NoPrefetch       bool   `json:"no_prefetch"`
 }
 
 // SubmitResponse answers POST /jobs.
@@ -180,6 +186,17 @@ func (s *Server) configFor(req SubmitRequest) (core.Config, error) {
 		cfg.CCOpt = *req.CCOpt
 	}
 	cfg.SparseMerge = req.SparseMerge
+	if req.SparseDeltaMerge != nil {
+		cfg.SparseDeltaMerge = *req.SparseDeltaMerge
+	}
+	if req.SparseMerge && req.SparseDeltaMerge == nil {
+		// An explicit sparse-merge request selects the one-shot encoding.
+		cfg.SparseDeltaMerge = false
+	}
+	cfg.StarBroadcast = req.StarBroadcast
+	if req.OverlapOutput != nil {
+		cfg.OverlapOutput = *req.OverlapOutput
+	}
 	cfg.SplitComponents = req.SplitComponents
 	cfg.OutDir = req.OutDir
 	cfg.PrefetchChunks = req.PrefetchChunks

@@ -46,6 +46,13 @@ type Stats struct {
 type DSU struct {
 	parent []uint32
 	stats  *Stats
+
+	// shadow holds each entry's value as of the previous SnapshotDelta call
+	// (the delta epoch baseline). It is allocated lazily on the first
+	// SnapshotDelta so DSUs that never ship deltas pay nothing, and it is
+	// never touched by the hot Find/Union path.
+	shadow []uint32
+	epoch  int
 }
 
 // SetStats attaches an operation-count recorder (nil detaches). Attach
@@ -271,6 +278,86 @@ func (d *DSU) SnapshotSparse(dst []uint32) []uint32 {
 		}
 	}
 	return dst
+}
+
+// SnapshotDelta encodes, as interleaved (vertex, parent) pairs, exactly the
+// entries whose parent changed since the previous SnapshotDelta on this DSU.
+// The first call is the epoch-0 baseline and returns every non-trivial entry
+// (identical to SnapshotSparse). Each call advances the delta epoch: entries
+// reported once are not reported again unless they change again, so the
+// union of all deltas ever returned reconstructs the DSU's partition at the
+// time of the last call. This is the pipelined MergeCC wire payload: a task
+// that has already shipped its baseline only ships what later absorbs
+// changed. Not safe concurrently with itself; concurrent Find/Union are
+// tolerated (atomic loads) but entries mutated mid-scan land in the next
+// delta.
+func (d *DSU) SnapshotDelta(dst []uint32) []uint32 {
+	dst = dst[:0]
+	if d.shadow == nil {
+		d.shadow = make([]uint32, len(d.parent))
+		for i := range d.parent {
+			p := atomic.LoadUint32(&d.parent[i])
+			d.shadow[i] = p
+			if p != uint32(i) {
+				dst = append(dst, uint32(i), p)
+			}
+		}
+		d.epoch = 1
+		return dst
+	}
+	for i := range d.parent {
+		p := atomic.LoadUint32(&d.parent[i])
+		if p != d.shadow[i] {
+			d.shadow[i] = p
+			dst = append(dst, uint32(i), p)
+		}
+	}
+	d.epoch++
+	return dst
+}
+
+// DeltaEpoch returns the number of SnapshotDelta calls taken so far (0 means
+// delta tracking has not started and the next delta is the full baseline).
+func (d *DSU) DeltaEpoch() int { return d.epoch }
+
+// ComponentSizesPar is ComponentSizes split across workers: each worker
+// counts a block of vertices into a private map and the maps are merged.
+// Call after concurrent mutation is done (concurrent Finds from the workers
+// themselves are safe — path splitting is CAS-based).
+func (d *DSU) ComponentSizesPar(workers int) map[uint32]int {
+	if workers < 1 {
+		workers = 1
+	}
+	partial := make([]map[uint32]int, workers)
+	par.Run(workers, func(w int) {
+		lo, hi := par.Block(len(d.parent), workers, w)
+		m := make(map[uint32]int)
+		for i := lo; i < hi; i++ {
+			m[d.Find(uint32(i))]++
+		}
+		partial[w] = m
+	})
+	sizes := partial[0]
+	if sizes == nil {
+		sizes = make(map[uint32]int)
+	}
+	for _, m := range partial[1:] {
+		for r, c := range m {
+			sizes[r] += c
+		}
+	}
+	return sizes
+}
+
+// LargestComponentPar is LargestComponent computed over a parallel size
+// count. Ties break toward the smaller root, matching the serial method.
+func (d *DSU) LargestComponentPar(workers int) (root uint32, size int) {
+	for r, s := range d.ComponentSizesPar(workers) {
+		if s > size || (s == size && r < root) {
+			root, size = r, s
+		}
+	}
+	return root, size
 }
 
 // AbsorbPairs folds a sparse snapshot (interleaved vertex/parent pairs)

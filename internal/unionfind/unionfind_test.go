@@ -342,3 +342,97 @@ func TestSparseSnapshotEmpty(t *testing.T) {
 	}
 	d.AbsorbPairs(nil, 2) // must not panic
 }
+
+func TestSnapshotDeltaIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(400)
+		rounds := 2 + rng.Intn(4)
+		var all []Edge
+		sender := New(n)
+		sink := New(n)
+		if sender.DeltaEpoch() != 0 {
+			t.Fatalf("fresh DSU epoch = %d", sender.DeltaEpoch())
+		}
+		var buf []uint32
+		for r := 0; r < rounds; r++ {
+			e := randEdges(rng, n, n/4)
+			all = append(all, e...)
+			sender.ProcessEdges(e, 4)
+			buf = sender.SnapshotDelta(buf)
+			if sender.DeltaEpoch() != r+1 {
+				t.Fatalf("epoch after %d deltas = %d", r+1, sender.DeltaEpoch())
+			}
+			if r == 0 {
+				// Baseline delta must equal the sparse snapshot of the same state.
+				if got, want := len(buf), len(sender.SnapshotSparse(nil)); got != want {
+					t.Fatalf("baseline delta %d pairs, sparse snapshot %d", got, want)
+				}
+			}
+			sink.AbsorbPairs(buf, 4)
+		}
+		// An extra delta with no intervening mutation must be empty.
+		if extra := sender.SnapshotDelta(buf); len(extra) != 0 {
+			t.Fatalf("idle delta returned %d entries", len(extra))
+		}
+		// The union of deltas reconstructs the sender's partition exactly.
+		sameParts(t, n, all, sink.Flatten(2))
+	}
+}
+
+func TestSnapshotDeltaReportsOnlyChanges(t *testing.T) {
+	d := New(8)
+	d.Connect(0, 1)
+	first := d.SnapshotDelta(nil)
+	if len(first) == 0 {
+		t.Fatal("baseline delta empty after a union")
+	}
+	d.Connect(2, 3)
+	second := d.SnapshotDelta(nil)
+	for i := 0; i < len(second); i += 2 {
+		v := second[i]
+		if v == 0 || v == 1 {
+			// Vertices 0/1 did not change after the baseline (2–3 union
+			// cannot touch them), so they must not reappear.
+			if d.parent[v] == first[1] && v == first[0] {
+				t.Fatalf("unchanged vertex %d re-reported in delta %v", v, second)
+			}
+		}
+	}
+	if len(second) == 0 {
+		t.Fatal("second delta empty after new union")
+	}
+}
+
+func TestComponentSizesParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(500)
+		d := New(n)
+		d.ProcessEdges(randEdges(rng, n, n), 4)
+		want := d.ComponentSizes()
+		for _, w := range []int{1, 3, 8} {
+			got := d.ComponentSizesPar(w)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d: %d components, want %d", w, len(got), len(want))
+			}
+			for r, s := range want {
+				if got[r] != s {
+					t.Fatalf("workers=%d: root %d size %d, want %d", w, r, got[r], s)
+				}
+			}
+		}
+		wr, ws := d.LargestComponent()
+		gr, gs := d.LargestComponentPar(4)
+		if wr != gr || ws != gs {
+			t.Fatalf("LargestComponentPar = (%d,%d), serial (%d,%d)", gr, gs, wr, ws)
+		}
+	}
+}
+
+func TestLargestComponentParEmpty(t *testing.T) {
+	d := New(0)
+	if r, s := d.LargestComponentPar(4); r != 0 || s != 0 {
+		t.Fatalf("empty DSU largest = (%d,%d)", r, s)
+	}
+}

@@ -242,6 +242,11 @@ func Predict(cal Calibration, w Workload, c ClusterSpec) PredictedSteps {
 // PredictMemory evaluates the §3.7 per-task memory inventory.
 func PredictMemory(w Workload, c ClusterSpec) int64 { return model.MemoryPerTask(w, c) }
 
+// PredictMergeWireBytes returns the modeled MergeCC + label-broadcast wire
+// volume for a cluster — the quantity the pipelined delta tree merge shrinks
+// versus the dense star schedule.
+func PredictMergeWireBytes(w Workload, c ClusterSpec) int64 { return model.MergeWireBytes(w, c) }
+
 // EdisonCalibration returns constants fitted to the paper's measurements.
 func EdisonCalibration() Calibration { return model.Edison() }
 
