@@ -17,12 +17,41 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"metaprep"
 	"metaprep/internal/obsv"
 	"metaprep/internal/stats"
 )
+
+// parseBytes reads a byte count with an optional K/M/G/T suffix (powers of
+// 1024, case-insensitive, trailing "B"/"iB" allowed): "256M", "2GiB", "65536".
+func parseBytes(s string) (int64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	t = strings.TrimSuffix(t, "IB")
+	t = strings.TrimSuffix(t, "B")
+	shift := 0
+	switch {
+	case strings.HasSuffix(t, "K"):
+		shift, t = 10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		shift, t = 20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"):
+		shift, t = 30, t[:len(t)-1]
+	case strings.HasSuffix(t, "T"):
+		shift, t = 40, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a byte size", s)
+	}
+	if n < 0 || n > (1<<62)>>shift {
+		return 0, fmt.Errorf("%q out of range", s)
+	}
+	return n << shift, nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -59,6 +88,7 @@ func usage() {
                       [-sparse-delta] [-star-bcast] [-overlap-output]
                       [-outdir DIR] [-edison-net] [-merge-output]
                       [-exchange-chunk N] [-prefetch N] [-no-prefetch]
+                      [-spill-budget BYTES] [-spill-dir DIR] [-spill-compress]
                       [-trace FILE] [-metrics FILE] [-counters FILE|-]
                       [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
   metaprep stats      -index FILE
@@ -113,6 +143,9 @@ func cmdRun(args []string) error {
 	prefetch := fs.Int("prefetch", 0, "per-thread chunk read-ahead depth (0 = default of 1)")
 	noPrefetch := fs.Bool("no-prefetch", false, "disable overlapped chunk I/O (ablation)")
 	exchangeChunk := fs.Int("exchange-chunk", 0, "stream the tuple exchange in chunks of this many tuples, overlapping it with KmerGen (0 = bulk exchange after generation)")
+	spillBudget := fs.String("spill-budget", "", "per-rank tuple memory budget, e.g. 256M or 2G; when the exchange would exceed it LocalSort spills sorted runs to disk and merges them as a stream (empty = all in RAM)")
+	spillDir := fs.String("spill-dir", "", "directory for spill run files (empty = the OS temp dir)")
+	spillCompress := fs.Bool("spill-compress", false, "varint/delta-compress spill runs (64-bit keys only): less disk bandwidth for more CPU")
 	labelsPath := fs.String("labels", "", "also save the component label array here")
 	tracePath := fs.String("trace", "", "write a Perfetto-loadable Chrome trace of the run here")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot (steps, per-task reports, counters) here")
@@ -149,6 +182,15 @@ func cmdRun(args []string) error {
 	cfg.PrefetchChunks = *prefetch
 	cfg.NoPrefetch = *noPrefetch
 	cfg.ExchangeChunkTuples = *exchangeChunk
+	if *spillBudget != "" {
+		b, err := parseBytes(*spillBudget)
+		if err != nil {
+			return fmt.Errorf("run: -spill-budget: %w", err)
+		}
+		cfg.SpillBudgetBytes = b
+	}
+	cfg.SpillDir = *spillDir
+	cfg.SpillCompress = *spillCompress
 	if *edisonNet {
 		cfg.Network = metaprep.EdisonNetwork()
 	}

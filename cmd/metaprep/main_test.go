@@ -117,3 +117,55 @@ func TestCLIInterleave(t *testing.T) {
 		t.Fatalf("interleaved output = %q", data)
 	}
 }
+
+func TestParseBytes(t *testing.T) {
+	good := map[string]int64{
+		"0":      0,
+		"65536":  65536,
+		"64K":    64 << 10,
+		"64KiB":  64 << 10,
+		"256m":   256 << 20,
+		"2G":     2 << 30,
+		"2GB":    2 << 30,
+		"1T":     1 << 40,
+		" 128M ": 128 << 20,
+	}
+	for in, want := range good {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "G", "12Q", "-1M", "1.5G", "9999999999G"} {
+		if got, err := parseBytes(in); err == nil {
+			t.Errorf("parseBytes(%q) = %d, want error", in, got)
+		}
+	}
+}
+
+// TestCLISpillFlags checks the out-of-core knobs parse and reach validation:
+// a well-formed spill run completes, a sub-minimum budget fails with the
+// typed config error, and a malformed size string fails at parse time.
+func TestCLISpillFlags(t *testing.T) {
+	dir := t.TempDir()
+	files := writeDataset(t, filepath.Join(dir, "data"))
+	idxPath := filepath.Join(dir, "ds.idx")
+	args := append([]string{"-k", "27", "-paired", "-chunk", "131072", "-out", idxPath}, files...)
+	if err := cmdIndex(args); err != nil {
+		t.Fatalf("index: %v", err)
+	}
+
+	if err := cmdRun([]string{
+		"-index", idxPath, "-threads", "2",
+		"-spill-budget", "64K", "-spill-dir", t.TempDir(), "-spill-compress",
+	}); err != nil {
+		t.Fatalf("spill run: %v", err)
+	}
+	if err := cmdRun([]string{"-index", idxPath, "-spill-budget", "1K"}); !errors.Is(err, metaprep.ErrInvalidConfig) {
+		t.Errorf("run -spill-budget 1K: err = %v, want ErrInvalidConfig", err)
+	}
+	if err := cmdRun([]string{"-index", idxPath, "-spill-budget", "lots"}); err == nil ||
+		errors.Is(err, metaprep.ErrInvalidConfig) {
+		t.Errorf("run -spill-budget lots: err = %v, want a parse error", err)
+	}
+}

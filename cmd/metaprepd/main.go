@@ -56,11 +56,22 @@ func run(args []string, sigc chan os.Signal) error {
 	retries := fs.Int("retries", 2, "retries for transient job failures")
 	progress := fs.Duration("progress", 200*time.Millisecond, "SSE progress snapshot interval")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs on shutdown")
+	spillDir := fs.String("spill-dir", "", "root for out-of-core spill scratch: each spilling job gets a private subdirectory, removed when the job ends; orphans from a crashed daemon are swept at startup (empty = the OS temp dir, unmanaged)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	// Sweep spill orphans before accepting work: scratch under -spill-dir
+	// can only be left behind by a previous daemon that died mid-job.
+	if *spillDir != "" {
+		if n, err := jobs.SweepSpillDir(*spillDir); err != nil {
+			return fmt.Errorf("spill-dir sweep: %w", err)
+		} else if n > 0 {
+			log.Printf("metaprepd: swept %d orphaned spill dir(s) under %s", n, *spillDir)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -72,6 +83,7 @@ func run(args []string, sigc chan os.Signal) error {
 		QueueCap: *queue,
 		CacheCap: *cacheCap,
 		Retries:  *retries,
+		SpillDir: *spillDir,
 	})
 	srv := server.New(mgr, server.Options{ProgressInterval: *progress})
 	httpSrv := &http.Server{Handler: srv}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"metaprep/internal/stats"
+)
+
+// benchDoc is the envelope of every BENCH_<name>.json mpbench writes: a
+// self-describing header plus experiment-specific rows, so dashboards and
+// regression scripts consume results without scraping the printed tables.
+type benchDoc struct {
+	// Name matches the experiment name (BENCH_<name>.json).
+	Name string `json:"name"`
+	// Scale is the dataset scale factor the run used (-scale).
+	Scale float64 `json:"scale"`
+	// CreatedAt is RFC 3339 UTC.
+	CreatedAt string `json:"created_at"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Rows carry the experiment's measurements, one object per table row.
+	Rows any `json:"rows"`
+}
+
+// emitBench prints the table like emit and, when -benchjson is set, also
+// writes rows as BENCH_<name>.json under that directory. rows should be a
+// slice of flat structs mirroring the table's rows with typed fields.
+func (e *env) emitBench(name string, t *stats.Table, rows any) error {
+	if err := e.emit(name, t); err != nil {
+		return err
+	}
+	if e.benchDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(e.benchDir, 0o755); err != nil {
+		return err
+	}
+	doc := benchDoc{
+		Name:      name,
+		Scale:     e.scale,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Rows:      rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(e.benchDir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench json: %s\n", path)
+	return nil
+}

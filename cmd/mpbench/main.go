@@ -45,6 +45,7 @@ func experiments() []experiment {
 		{"purity", "extension: partition purity vs ground truth", expPurity},
 		{"ablate", "DESIGN.md design-decision ablations", expAblation},
 		{"exchange", "extension: bulk vs streaming chunked exchange (overlap)", expExchange},
+		{"extsort", "extension: out-of-core LocalSort (spill budget sweep, parity-checked)", expExtsort},
 		{"backhalf", "extension: delta tree merge, broadcast schedule, overlapped CC-I/O", expBackHalf},
 		{"stream", "STREAM Triad memory bandwidth", expStream},
 		{"calib", "host calibration constants", expCalib},
@@ -59,6 +60,7 @@ func main() {
 		list  = flag.Bool("list", false, "list experiments and exit")
 		keep  = flag.Bool("keep", false, "keep the workspace directory")
 		csv   = flag.String("csv", "", "also write each table as CSV into this directory")
+		bench = flag.String("benchjson", "", "write machine-readable BENCH_<name>.json files into this directory")
 	)
 	flag.Parse()
 
@@ -88,6 +90,7 @@ func main() {
 
 	e := newEnv(ws, *scale)
 	e.csvDir = *csv
+	e.benchDir = *bench
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
 		names = nil

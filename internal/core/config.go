@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -146,6 +147,27 @@ type Config struct {
 	// shared cursors interleave threads within a destination region and
 	// destroy the chunk-fill accounting.
 	ExchangeChunkTuples int
+	// SpillBudgetBytes, when > 0, caps the sort/union phase's resident
+	// tuple memory per task. When a pass's received partition would exceed
+	// the cap, LocalSort goes out-of-core: the exchange lands tuples into
+	// fixed-size run builders, each full run is radix-sorted in RAM and
+	// spilled to a per-rank temp file (write-behind), and LocalCC consumes
+	// a loser-tree k-way merge of the spilled runs as a stream instead of a
+	// materialized partition. Results are bit-identical to the in-RAM path
+	// (the spill parity suite pins this). 0 disables spilling. Budgets
+	// below MinSpillBudgetBytes are a validation error.
+	SpillBudgetBytes int64
+	// SpillDir is where spill-run temp files go (a per-run directory is
+	// created beneath it and removed on every exit path). Empty uses the
+	// OS temp dir. Setting it without SpillBudgetBytes is a validation
+	// error. Like Pool, it never affects results and is excluded from
+	// CanonicalHash.
+	SpillDir string
+	// SpillCompress delta-encodes the sorted tuple keys of each spilled
+	// block as varints, shrinking spill I/O at some encode/decode cost.
+	// Only the 64-bit key path (k ≤ 31) supports it; combining it with
+	// 128-bit keys is a validation error.
+	SpillCompress bool
 	// Pool, when non-nil, supplies and reclaims the two per-task tuple
 	// buffers (kmerOut/kmerIn) so back-to-back runs — the daemon's jobs —
 	// reuse multi-GB slices instead of reallocating them. Never affects
@@ -245,6 +267,55 @@ func (c Config) Validate() error {
 		return &ConfigError{Field: "SparseDeltaMerge",
 			Reason: "pick one merge payload encoding: SparseDeltaMerge (pipelined deltas) or SparseMerge (one-shot sparse)"}
 	}
+	if c.SpillBudgetBytes < 0 {
+		return &ConfigError{Field: "SpillBudgetBytes", Reason: fmt.Sprintf("%d < 0", c.SpillBudgetBytes)}
+	}
+	if c.SpillBudgetBytes > 0 && c.SpillBudgetBytes < MinSpillBudgetBytes {
+		return &ConfigError{Field: "SpillBudgetBytes",
+			Reason: fmt.Sprintf("%d below the %d-byte minimum (run builders and merge read buffers cannot fit a smaller cap)",
+				c.SpillBudgetBytes, MinSpillBudgetBytes)}
+	}
+	if c.SpillCompress && c.SpillBudgetBytes == 0 {
+		return &ConfigError{Field: "SpillCompress", Reason: "requires SpillBudgetBytes > 0 (nothing is spilled otherwise)"}
+	}
+	if c.SpillCompress && !opts.Use64() {
+		return &ConfigError{Field: "SpillCompress",
+			Reason: fmt.Sprintf("varint/delta key compression supports 64-bit keys only (k=%d uses the 128-bit path)", opts.K)}
+	}
+	if c.SpillDir != "" {
+		if c.SpillBudgetBytes == 0 {
+			return &ConfigError{Field: "SpillDir", Reason: "set without SpillBudgetBytes (nothing is spilled)"}
+		}
+		if err := checkSpillDir(c.SpillDir); err != nil {
+			return &ConfigError{Field: "SpillDir", Reason: err.Error()}
+		}
+	}
+	return nil
+}
+
+// MinSpillBudgetBytes is the smallest accepted SpillBudgetBytes: below it
+// the three circulating run builders plus the merge read buffers degenerate
+// to runs of a handful of tuples and the spill machinery costs more memory
+// in bookkeeping than it saves.
+const MinSpillBudgetBytes = 64 << 10
+
+// checkSpillDir verifies the spill directory exists, is a directory, and is
+// writable — by creating and removing a probe file, the only check that
+// works across permission models.
+func checkSpillDir(dir string) error {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("not usable: %v", err)
+	}
+	if !st.IsDir() {
+		return fmt.Errorf("%s is not a directory", dir)
+	}
+	probe, err := os.CreateTemp(dir, ".metaprep-probe-*")
+	if err != nil {
+		return fmt.Errorf("not writable: %v", err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
 	return nil
 }
 

@@ -270,8 +270,17 @@ func (ex *exchStream) recvLoop(s int, rl recvLayout) error {
 		for c := 0; c < nc; c++ {
 			r0 := time.Now()
 			m := t.Wait(t.IRecv(src, tagTuples+s)).(tupleMsg)
-			off := rl.srcOff[src] + uint64(c)*rl.chunkTuples
-			n := st.in.receive(off, m)
+			var n uint64
+			if st.spill != nil {
+				// Out-of-core path: the chunk lands straight in the run
+				// builders, so peak receive memory is runs-in-flight, not
+				// partition size. Chunks arrive in deterministic (stage,
+				// chunk) order, making run contents reproducible.
+				n = st.spill.receive(m)
+			} else {
+				off := rl.srcOff[src] + uint64(c)*rl.chunkTuples
+				n = st.in.receive(off, m)
+			}
 			got += n
 			landed++
 			if obs != nil {

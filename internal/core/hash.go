@@ -16,7 +16,7 @@ import (
 // canonicalHashVersion is bumped whenever the set of hashed fields or their
 // normalization changes, invalidating every previously cached result rather
 // than silently aliasing old entries.
-const canonicalHashVersion = 3
+const canonicalHashVersion = 4
 
 // CanonicalHash returns a stable hex digest of the run-defining
 // configuration. The encoding is canonical:
@@ -66,6 +66,12 @@ func (c Config) CanonicalHash() string {
 	// step timings and traces differ. (Pool is excluded: buffer reuse can
 	// never change a result.)
 	field("exchange_chunk_tuples", c.ExchangeChunkTuples)
+	// The out-of-core knobs are distinct runs for caching purposes even
+	// though results are bit-identical: step timings, spill counters and
+	// traces differ. SpillDir is excluded like Pool — where the scratch
+	// files live can never change a result.
+	field("spill_budget_bytes", c.SpillBudgetBytes)
+	field("spill_compress", c.SpillCompress)
 	field("no_vector_kmergen", c.NoVectorKmerGen)
 	if c.Network == nil || (c.Network.Latency == 0 && c.Network.BandwidthBytesPerSec == 0) {
 		field("network", "none")

@@ -14,7 +14,7 @@ import (
 // and re-pin — never let old cached results alias the new scheme silently.
 func TestCanonicalHashGolden(t *testing.T) {
 	def := Config{Tasks: 1, Threads: 1, Passes: 1, CCOpt: true}
-	const wantDef = "6007914d658b83c8dc45645369c2111ca8389bc7822d232f743d83fdc0b8e416"
+	const wantDef = "3fab1ffda64b467b8b640986e0bbf4b7cca672d6f65dcff9d466be5bc17e16c0"
 	if got := def.CanonicalHash(); got != wantDef {
 		t.Errorf("CanonicalHash(default) = %s, want %s", got, wantDef)
 	}
@@ -35,7 +35,7 @@ func TestCanonicalHashGolden(t *testing.T) {
 		NoVectorKmerGen:  true,
 		Network:          &mpirt.NetworkModel{Latency: time.Microsecond, BandwidthBytesPerSec: 8e9},
 	}
-	const wantFull = "b4bdd6551d335ab9cbcb6f69ccb245a37fd5225da7d1d70c9269d7fd248630d4"
+	const wantFull = "f9e3c7f1aebe918ef014a49ee89df85c572696dd40183c10567b635e0bba8351"
 	if got := full.CanonicalHash(); got != wantFull {
 		t.Errorf("CanonicalHash(full) = %s, want %s", got, wantFull)
 	}
@@ -73,6 +73,19 @@ func TestCanonicalHashEquivalentSpellings(t *testing.T) {
 	}
 	if noPre.CanonicalHash() == want {
 		t.Errorf("NoPrefetch did not change the hash")
+	}
+
+	// Where spill scratch lives can never change a result: SpillDir is
+	// excluded from the hash (the budget and compression knobs are not).
+	spillA := base
+	spillA.SpillBudgetBytes = 1 << 20
+	spillB := spillA
+	spillB.SpillDir = "/scratch/elsewhere"
+	if spillA.CanonicalHash() != spillB.CanonicalHash() {
+		t.Errorf("SpillDir leaked into the hash")
+	}
+	if spillA.CanonicalHash() == want {
+		t.Errorf("SpillBudgetBytes did not change the hash")
 	}
 
 	// Buffer pooling recycles allocations and can never change a result.
@@ -114,6 +127,11 @@ func TestCanonicalHashSensitivity(t *testing.T) {
 		"dynamic_offsets":       func(c *Config) { c.DynamicOffsets = true },
 		"no_vector_kmergen":     func(c *Config) { c.NoVectorKmerGen = true },
 		"exchange_chunk_tuples": func(c *Config) { c.ExchangeChunkTuples = 1 << 16 },
+		"spill_budget_bytes":    func(c *Config) { c.SpillBudgetBytes = 1 << 20 },
+		"spill_compress": func(c *Config) {
+			c.SpillBudgetBytes = 1 << 20
+			c.SpillCompress = true
+		},
 		"network": func(c *Config) {
 			c.Network = &mpirt.NetworkModel{Latency: time.Microsecond, BandwidthBytesPerSec: 1e9}
 		},

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"metaprep/internal/mpirt"
@@ -36,10 +37,20 @@ type taskState struct {
 	// the same pointer as p.cfg.Obs, cached for the instrumentation sites.
 	obs *obsv.Collector
 
+	// out is kmerOut; in is kmerIn, nil in spill mode (received tuples go
+	// through the run builders instead).
 	out, in *tupleBuf
 	dsu     *unionfind.DSU
 	ufStats *unionfind.Stats
 	files   []*os.File
+
+	// spill, non-nil only while a spill pass's exchange runs, diverts the
+	// receive path into the run builders.
+	spill *spillState
+	// spillCur/spillPeak gauge the spill machinery's resident tuple bytes
+	// (builders plus decoded merge blocks); the peak is exported as the
+	// extsort/peak_tuple_bytes counter the budget-compliance test checks.
+	spillCur, spillPeak atomic.Int64
 
 	// exchTracker, non-nil only while a streaming exchange pass runs,
 	// receives chunk-fill notifications from the KmerGen worker threads.
@@ -73,6 +84,9 @@ func newTaskState(ctx context.Context, pl *plan, task *mpirt.Task) *taskState {
 			st.obs.SetThreadName(st.rank, obsv.TidExchange, "exchange send")
 			st.obs.SetThreadName(st.rank, obsv.TidExchRecv, "exchange recv")
 		}
+		if pl.spill {
+			st.obs.SetThreadName(st.rank, obsv.TidSpill, "spill writer")
+		}
 		// Per-rank-pair tuple counters (the Fig. 8 communication-imbalance
 		// quantity, keyed on the receiving task), preformatted here so the
 		// exchange receive path does no string formatting per message.
@@ -105,6 +119,19 @@ func (st *taskState) counter(name string) *obsv.Counter {
 	return st.obs.Counter(st.rank, name)
 }
 
+// spillMemAdd moves the spill tuple-memory gauge by delta bytes, tracking
+// its peak. The gauge covers the run builders and the decoded merge blocks
+// — the memory the spill budget governs.
+func (st *taskState) spillMemAdd(delta int64) {
+	cur := st.spillCur.Add(delta)
+	for {
+		p := st.spillPeak.Load()
+		if cur <= p || st.spillPeak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
 // finishObs registers the end-of-run counters that fall out of the task's
 // accounting: volumes, memory and the union–find operation mix.
 func (st *taskState) finishObs() {
@@ -120,6 +147,9 @@ func (st *taskState) finishObs() {
 	st.counter("unionfind/path_splits").Add(st.ufStats.PathSplits.Load())
 	st.counter("unionfind/unions").Add(st.ufStats.Unions.Load())
 	st.counter("unionfind/union_races").Add(st.ufStats.UnionRaces.Load())
+	if peak := st.spillPeak.Load(); peak > 0 {
+		st.counter("extsort/peak_tuple_bytes").Add(uint64(peak))
+	}
 }
 
 // freqHistSize caps the k-mer frequency spectrum the pipeline collects; the
@@ -228,6 +258,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	// In spill mode, every rank's run files live in one run-scoped temp
+	// directory, removed on every exit path — success, error and
+	// cancellation alike (TestSpillCancelLeavesNoRunFiles).
+	var spillDir string
+	if pl.spill {
+		spillDir, err = os.MkdirTemp(cfg.SpillDir, "metaprep-spill-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(spillDir)
+	}
 
 	world := mpirt.NewWorld(cfg.Tasks, cfg.Network)
 	world.SetCollector(cfg.Obs)
@@ -256,14 +297,20 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		st.files = files
 		st.out = cfg.acquireTupleBuf(pl.bufTuples[st.rank], !pl.use64())
-		st.in = cfg.acquireTupleBuf(pl.bufTuples[st.rank], !pl.use64())
+		if !pl.spill {
+			// Spill mode has no kmerIn: received tuples stream through
+			// the budgeted run builders instead.
+			st.in = cfg.acquireTupleBuf(pl.bufTuples[st.rank], !pl.use64())
+		}
 		defer func() {
 			// Safe to recycle even on the error path: RunContext joins
 			// every rank before returning, so no peer still holds a
 			// zero-copy view into these buffers when a later run (the
 			// next daemon job) can acquire them.
 			cfg.releaseTupleBuf(st.out)
-			cfg.releaseTupleBuf(st.in)
+			if st.in != nil {
+				cfg.releaseTupleBuf(st.in)
+			}
 		}()
 		st.dsu = unionfind.New(int(pl.idx.Reads))
 		st.dsu.SetStats(st.ufStats)
@@ -276,12 +323,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		for s := 0; s < cfg.Passes; s++ {
 			gl := pl.genLayout(s, st.rank)
 			rl := pl.recvLayout(s, st.rank)
-			if err := st.genExchange(s, gl, rl); err != nil {
-				return err
+			if pl.spill {
+				if err := st.runSpillPass(s, gl, rl, spillDir); err != nil {
+					return err
+				}
+			} else {
+				if err := st.genExchange(s, gl, rl); err != nil {
+					return err
+				}
+				sl := pl.sortLayout(s, st.rank, rl)
+				st.localSort(s, sl)
+				st.localCC(sl)
 			}
-			sl := pl.sortLayout(s, st.rank, rl)
-			st.localSort(s, sl)
-			st.localCC(sl)
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -399,7 +452,13 @@ func stepsOf(reports []TaskReport) []StepTimes {
 func (st *taskState) memoryBytes() int64 {
 	idx := st.p.idx
 	mem := idx.MemoryBytes()
-	mem += st.out.memBytes() + st.in.memBytes()
+	mem += st.out.memBytes()
+	if st.in != nil {
+		mem += st.in.memBytes()
+	} else {
+		// Spill mode: the receive side is budgeted, not partition-sized.
+		mem += st.p.cfg.SpillBudgetBytes
+	}
 	mem += 2 * 4 * int64(idx.Reads)
 	buffersPerThread := int64(1 + st.p.cfg.prefetchDepth())
 	mem += int64(st.p.cfg.Threads) * buffersPerThread * st.maxChunkBytes

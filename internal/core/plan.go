@@ -26,7 +26,20 @@ type plan struct {
 	// its two buffers (kmerOut and kmerIn): the maximum over passes of
 	// tuples generated and tuples received, because kmerOut doubles as the
 	// sorted output buffer (§3.4) and kmerIn as radix-sort scratch.
+	// In spill mode only the generation term counts — received tuples land
+	// in the bounded run builders instead of a kmerIn-sized buffer.
 	bufTuples []uint64
+
+	// spill is true when the out-of-core LocalSort path is active: a
+	// SpillBudgetBytes cap is set and at least one (pass, rank) would
+	// otherwise receive a partition larger than the cap. The decision is
+	// global and uniform — every rank and pass takes the same path — so the
+	// per-pass schedules of all tasks stay identical.
+	spill bool
+	// runTuples is the spill run size: the budget covers three circulating
+	// run builders (two in the receive↔sort-write handoff ring plus the
+	// radix scratch), so each holds budget/(3·bytesPerTuple) tuples.
+	runTuples uint64
 }
 
 func newPlan(cfg Config) (*plan, error) {
@@ -57,29 +70,84 @@ func newPlan(cfg Config) (*plan, error) {
 		}
 	}
 
-	p.bufTuples = make([]uint64, cfg.Tasks)
+	maxGen := make([]uint64, cfg.Tasks)
+	maxRecv := make([]uint64, cfg.Tasks)
+	var worstRecv uint64
 	for rank := 0; rank < cfg.Tasks; rank++ {
-		var maxGen, maxRecv uint64
 		for s := 0; s < cfg.Passes; s++ {
 			var gen uint64
 			plo, phi := pt.PassRange(s)
 			for _, ci := range p.taskChunks[rank] {
 				gen += index.RangeCount(idx.Chunks[ci].Hist, plo, phi)
 			}
-			if gen > maxGen {
-				maxGen = gen
+			if gen > maxGen[rank] {
+				maxGen[rank] = gen
 			}
 			tlo, thi := pt.TaskRange(s, rank)
-			if recv := index.RangeCount64(idx.MerHist, tlo, thi); recv > maxRecv {
-				maxRecv = recv
+			if recv := index.RangeCount64(idx.MerHist, tlo, thi); recv > maxRecv[rank] {
+				maxRecv[rank] = recv
 			}
 		}
-		p.bufTuples[rank] = maxGen
-		if maxRecv > maxGen {
-			p.bufTuples[rank] = maxRecv
+		if maxRecv[rank] > worstRecv {
+			worstRecv = maxRecv[rank]
+		}
+	}
+	if b := cfg.SpillBudgetBytes; b > 0 && worstRecv*p.bytesPerTuple() > uint64(b) {
+		p.spill = true
+		p.runTuples = uint64(b) / (3 * p.bytesPerTuple())
+		if p.runTuples < 1 {
+			p.runTuples = 1
+		}
+	}
+	p.bufTuples = make([]uint64, cfg.Tasks)
+	for rank := 0; rank < cfg.Tasks; rank++ {
+		p.bufTuples[rank] = maxGen[rank]
+		if !p.spill && maxRecv[rank] > maxGen[rank] {
+			p.bufTuples[rank] = maxRecv[rank]
 		}
 	}
 	return p, nil
+}
+
+// bytesPerTuple is the in-memory and on-wire tuple size: the paper's 12
+// bytes for k ≤ 31, 20 for the 128-bit key path.
+func (p *plan) bytesPerTuple() uint64 {
+	if p.use64() {
+		return 12
+	}
+	return 20
+}
+
+// spillRuns returns how many runs a pass with recvTotal received tuples
+// spills.
+func (p *plan) spillRuns(recvTotal uint64) int {
+	if recvTotal == 0 {
+		return 0
+	}
+	return int((recvTotal + p.runTuples - 1) / p.runTuples)
+}
+
+// spillBlockTuples sizes the encode blocks of a pass's spill file — the unit
+// of merge read-ahead. During the merge every one of T threads holds up to
+// two decoded blocks per run (one draining, one prefetching), so the block
+// size is chosen to keep T·runs·2·block·bytesPerTuple within half the
+// budget, clamped to [16, 4096] tuples and to the run size.
+func (p *plan) spillBlockTuples(runs int) int {
+	if runs < 1 {
+		runs = 1
+	}
+	b := uint64(p.cfg.SpillBudgetBytes) /
+		(4 * uint64(p.cfg.Threads) * uint64(runs) * p.bytesPerTuple())
+	if b < 16 {
+		b = 16
+	}
+	if b > 4096 {
+		b = 4096
+	}
+	if b > p.runTuples {
+		b = p.runTuples
+	}
+	return int(b)
 }
 
 // use64 reports whether the 64-bit k-mer path applies.

@@ -26,7 +26,14 @@ func (st *taskState) exchange(s int, gl genLayout, rl recvLayout) error {
 			return st.out.msgFor(gl.dstOff[dst], cnt), int(cnt) * st.out.bytesPerTuple()
 		},
 		func(src int, payload any) {
-			got := st.in.receive(rl.srcOff[src], payload.(tupleMsg))
+			var got uint64
+			if st.spill != nil {
+				// Out-of-core path: land the message in the run builders
+				// instead of a partition-sized kmerIn.
+				got = st.spill.receive(payload.(tupleMsg))
+			} else {
+				got = st.in.receive(rl.srcOff[src], payload.(tupleMsg))
+			}
 			if st.exchTupleCounters != nil {
 				// Per-rank-pair volume: the Fig. 8 communication
 				// imbalance quantity, keyed on the receiving task. The
@@ -171,6 +178,14 @@ func (st *taskState) localCC(sl sortLayout) {
 		retries[d] = retry
 		hists[d] = hist
 	})
+	st.ccFinish(t0, edgeCounts, retries, hists)
+}
+
+// ccFinish is the tail of LocalCC shared by the in-RAM and spill paths:
+// fold the per-thread frequency histograms, run Algorithm 1's outer
+// re-verification loop over the buffered edges, and charge the step.
+func (st *taskState) ccFinish(t0 time.Time, edgeCounts []uint64, retries [][]unionfind.Edge, hists [][]uint64) {
+	T := st.p.cfg.Threads
 	for _, h := range hists {
 		for f, c := range h {
 			st.freqHist[f] += c

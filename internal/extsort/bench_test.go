@@ -1,0 +1,121 @@
+package extsort
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// benchTuples builds n sorted 64-bit tuples with clustered keys, the shape
+// spilled runs actually have after the radix sort.
+func benchTuples(n int) (lo []uint64, val []uint32) {
+	rng := rand.New(rand.NewSource(7))
+	lo = make([]uint64, n)
+	val = make([]uint32, n)
+	for i := range lo {
+		lo[i] = rng.Uint64() >> 20 // clustered high bits: delta-friendly
+		val[i] = rng.Uint32()
+	}
+	sort.Slice(lo, func(i, j int) bool { return lo[i] < lo[j] })
+	return lo, val
+}
+
+func benchmarkWriteRun(b *testing.B, compress bool) {
+	const n = 1 << 16
+	lo, val := benchTuples(n)
+	path := filepath.Join(b.TempDir(), "bench.run")
+	b.SetBytes(int64(n * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := NewWriter(f, false, compress, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.WriteRun(lo, nil, val, []uint64{0, n}); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func BenchmarkWriteRunRaw(b *testing.B)        { benchmarkWriteRun(b, false) }
+func BenchmarkWriteRunCompressed(b *testing.B) { benchmarkWriteRun(b, true) }
+
+func benchmarkMerge(b *testing.B, runs int, compress bool) {
+	const perRun = 1 << 14
+	path := filepath.Join(b.TempDir(), "bench.run")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWriter(f, false, compress, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	infos := make([]RunInfo, runs)
+	for r := range infos {
+		lo, val := benchTuples(perRun)
+		if infos[r], err = w.WriteRun(lo, nil, val, []uint64{0, perRun}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
+
+	b.SetBytes(int64(runs * perRun * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srs := make([]*SegReader, runs)
+		for r := range srs {
+			srs[r] = NewSegReader(rf, infos[r].Segs[0], false, compress, 1024)
+		}
+		mg, err := NewMerger(srs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			_, _, _, ok, err := mg.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		mg.Close()
+		rf.Close()
+		if n != runs*perRun {
+			b.Fatalf("merged %d tuples, want %d", n, runs*perRun)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	for _, runs := range []int{4, 16, 64} {
+		for _, compress := range []bool{false, true} {
+			name := fmt.Sprintf("runs=%d/raw", runs)
+			if compress {
+				name = fmt.Sprintf("runs=%d/zip", runs)
+			}
+			b.Run(name, func(b *testing.B) { benchmarkMerge(b, runs, compress) })
+		}
+	}
+}

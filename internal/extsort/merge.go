@@ -1,0 +1,269 @@
+package extsort
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"os"
+)
+
+// segReadBufBytes sizes each segment reader's file-I/O buffer. It is fixed
+// and small: the budgeted quantity is decoded tuple memory (the Block ring),
+// not this staging buffer.
+const segReadBufBytes = 32 << 10
+
+// fetchedBlock travels from a SegReader's decode goroutine to its consumer.
+type fetchedBlock struct {
+	b   *Block
+	err error
+}
+
+// SegReader streams one run segment's blocks in order, decoding ahead of
+// the consumer on its own goroutine — the merge-side counterpart of the
+// KmerGen chunk prefetcher: a ring of 2 decoded Block buffers circulates
+// over free/filled channels, so block i+1 is read and decoded from disk
+// while the merger drains block i.
+type SegReader struct {
+	filled  chan fetchedBlock
+	free    chan *Block
+	stop    chan struct{}
+	stopped bool
+}
+
+// NewSegReader starts the decode goroutine for one segment. maxTuples must
+// be at least the writer's blockTuples; it bounds decode allocations.
+func NewSegReader(f *os.File, seg SegInfo, wide, compress bool, maxTuples int) *SegReader {
+	r := &SegReader{
+		filled: make(chan fetchedBlock, 1),
+		free:   make(chan *Block, 2),
+		stop:   make(chan struct{}),
+	}
+	r.free <- &Block{}
+	r.free <- &Block{}
+	go r.run(f, seg, wide, compress, maxTuples)
+	return r
+}
+
+// run decodes the segment block by block: the varint block framing is read
+// through a buffered SectionReader, each payload into a reused scratch
+// slice, and each decoded Block ships to the consumer.
+func (r *SegReader) run(f *os.File, seg SegInfo, wide, compress bool, maxTuples int) {
+	defer close(r.filled)
+	br := bufio.NewReaderSize(io.NewSectionReader(f, seg.Off, seg.Len), segReadBufBytes)
+	var payload []byte
+	var remaining = seg.Tuples
+	for remaining > 0 {
+		var b *Block
+		select {
+		case b = <-r.free:
+		case <-r.stop:
+			return
+		}
+		err := readBlock(br, wide, compress, maxTuples, &payload, b)
+		if err == nil && uint64(b.Len()) > remaining {
+			err = corrupt("segment overruns its %d-tuple extent", seg.Tuples)
+		}
+		if err == nil {
+			remaining -= uint64(b.Len())
+		}
+		select {
+		case r.filled <- fetchedBlock{b: b, err: err}:
+		case <-r.stop:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// readBlock reads and decodes one framed block from br.
+func readBlock(br *bufio.Reader, wide, compress bool, maxTuples int, payload *[]byte, b *Block) error {
+	cnt, err := binary.ReadUvarint(br)
+	if err != nil {
+		return corrupt("reading block count: %v", err)
+	}
+	if cnt == 0 || cnt > uint64(maxTuples) {
+		return corrupt("block count %d outside (0, %d]", cnt, maxTuples)
+	}
+	plen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return corrupt("reading payload length: %v", err)
+	}
+	maxPayload := uint64(rawPayloadLen(int(cnt), wide))
+	if compress {
+		maxPayload = cnt * (binary.MaxVarintLen64 + 4)
+	}
+	if plen > maxPayload {
+		return corrupt("payload length %d implausible for %d tuples", plen, cnt)
+	}
+	if uint64(cap(*payload)) < plen {
+		*payload = make([]byte, plen)
+	}
+	*payload = (*payload)[:plen]
+	if _, err := io.ReadFull(br, *payload); err != nil {
+		return corrupt("payload truncated: %v", err)
+	}
+	return decodePayload(*payload, int(cnt), wide, compress, b)
+}
+
+// Next returns the segment's next decoded block, nil at end of segment.
+// The caller must hand the block back with Release before the ring can
+// decode two blocks further ahead.
+func (r *SegReader) Next() (*Block, error) {
+	fb, ok := <-r.filled
+	if !ok {
+		return nil, nil
+	}
+	return fb.b, fb.err
+}
+
+// Release returns a consumed block to the decode ring. Never blocks: the
+// free channel holds capacity for every circulating block.
+func (r *SegReader) Release(b *Block) {
+	if b != nil {
+		r.free <- b
+	}
+}
+
+// Close stops the decode goroutine. Idempotent and safe on every path,
+// including mid-stream cancellation.
+func (r *SegReader) Close() {
+	if !r.stopped {
+		r.stopped = true
+		close(r.stop)
+	}
+}
+
+// Merger streams the ascending key order of k segment readers — one per
+// spilled run — via a loser tree: an internal node holds the loser of its
+// subtree's match, so replacing the winner after each pull replays exactly
+// one leaf-to-root path (⌈log₂k⌉ comparisons) instead of re-scanning all k
+// heads. Ties break on run index, making the merged order deterministic.
+type Merger struct {
+	rs  []*SegReader
+	cur []*Block // current block per leaf (nil once exhausted)
+	pos []int    // cursor within cur
+
+	// Cached head tuple per leaf, so comparisons never chase block slices.
+	hi, lo []uint64
+	val    []uint32
+	done   []bool
+
+	tree   []int // tree[1..k-1]: loser leaf of each internal node
+	winner int
+	k      int
+}
+
+// NewMerger primes every reader and builds the initial tournament. The
+// merger owns the readers' draining but not their lifetime: call Close on
+// the readers (or Merger.Close) when done, on every path.
+func NewMerger(rs []*SegReader) (*Merger, error) {
+	k := len(rs)
+	m := &Merger{
+		rs: rs, cur: make([]*Block, k), pos: make([]int, k),
+		hi: make([]uint64, k), lo: make([]uint64, k), val: make([]uint32, k),
+		done: make([]bool, k), tree: make([]int, k), k: k,
+	}
+	for i := range rs {
+		if err := m.advance(i); err != nil {
+			return nil, err
+		}
+	}
+	if k > 0 {
+		m.winner = m.build(1)
+	}
+	return m, nil
+}
+
+// build computes the winner of the subtree rooted at node, recording losers
+// on the way up. Leaves live at nodes k..2k-1 (leaf j at node k+j), which
+// lays out a complete tournament for any k ≥ 1.
+func (m *Merger) build(node int) int {
+	if node >= m.k {
+		return node - m.k
+	}
+	l := m.build(2 * node)
+	r := m.build(2*node + 1)
+	if m.leafLess(l, r) {
+		m.tree[node] = r
+		return l
+	}
+	m.tree[node] = l
+	return r
+}
+
+// leafLess orders leaves by current key, exhausted leaves last, ties by
+// leaf index.
+func (m *Merger) leafLess(a, b int) bool {
+	if m.done[a] || m.done[b] {
+		return !m.done[a]
+	}
+	if m.hi[a] != m.hi[b] {
+		return m.hi[a] < m.hi[b]
+	}
+	if m.lo[a] != m.lo[b] {
+		return m.lo[a] < m.lo[b]
+	}
+	return a < b
+}
+
+// advance loads leaf i's next tuple, fetching the next block when the
+// current one is drained.
+func (m *Merger) advance(i int) error {
+	r := m.rs[i]
+	if m.cur[i] == nil || m.pos[i] >= m.cur[i].Len() {
+		r.Release(m.cur[i])
+		b, err := r.Next()
+		if err != nil {
+			m.cur[i] = nil
+			m.done[i] = true
+			return err
+		}
+		m.cur[i] = b
+		m.pos[i] = 0
+		if b == nil {
+			m.done[i] = true
+			return nil
+		}
+	}
+	b, p := m.cur[i], m.pos[i]
+	m.lo[i] = b.Lo[p]
+	if b.Hi != nil {
+		m.hi[i] = b.Hi[p]
+	} else {
+		m.hi[i] = 0
+	}
+	m.val[i] = b.Val[p]
+	m.pos[i]++
+	return nil
+}
+
+// Next pulls the smallest remaining tuple. ok is false once every segment
+// is exhausted.
+func (m *Merger) Next() (hi, lo uint64, val uint32, ok bool, err error) {
+	if m.k == 0 || m.done[m.winner] {
+		return 0, 0, 0, false, nil
+	}
+	w := m.winner
+	hi, lo, val = m.hi[w], m.lo[w], m.val[w]
+	if err := m.advance(w); err != nil {
+		return 0, 0, 0, false, err
+	}
+	// Replay w's path to the root: at each node, the smaller of the
+	// incoming leaf and the stored loser advances, the other stays.
+	for n := (m.k + w) / 2; n >= 1; n /= 2 {
+		if m.leafLess(m.tree[n], w) {
+			m.tree[n], w = w, m.tree[n]
+		}
+	}
+	m.winner = w
+	return hi, lo, val, true, nil
+}
+
+// Close closes every reader (stopping their decode goroutines).
+func (m *Merger) Close() {
+	for _, r := range m.rs {
+		r.Close()
+	}
+}

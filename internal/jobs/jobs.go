@@ -19,6 +19,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -79,6 +82,14 @@ type Options struct {
 	Transient func(error) bool
 	// Runner executes jobs; nil uses core.RunContext.
 	Runner Runner
+	// SpillDir, when set, roots the out-of-core scratch space: every job
+	// submitted with SpillBudgetBytes > 0 (and no explicit SpillDir of its
+	// own) runs with a private job-<ID> directory beneath it, removed when
+	// the job reaches any terminal state — done, failed and cancelled alike.
+	// Pair with SweepSpillDir at startup to reclaim scratch a previous
+	// daemon process left behind. Empty leaves spill placement to the
+	// job's Config (the OS temp dir by default).
+	SpillDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -300,6 +311,18 @@ func (m *Manager) runJob(j *Job) {
 	// identity and cache key.
 	cfg.Pool = m.pool
 	m.mu.Unlock()
+
+	// Spill scratch is an executor concern too (SpillDir is excluded from
+	// the cache key): give a spilling job a private directory under the
+	// manager's spill root and remove it on every exit path, so cancelled
+	// and failed jobs cannot strand run files.
+	if m.opts.SpillDir != "" && cfg.SpillBudgetBytes > 0 && cfg.SpillDir == "" {
+		dir := filepath.Join(m.opts.SpillDir, "job-"+j.ID)
+		if mkErr := os.MkdirAll(dir, 0o755); mkErr == nil {
+			cfg.SpillDir = dir
+			defer os.RemoveAll(dir)
+		}
+	}
 
 	var res *core.Result
 	var err error
@@ -528,3 +551,36 @@ func IsTransient(err error) bool {
 // ErrTransient marks an error as retryable when wrapped
 // (fmt.Errorf("...: %w", jobs.ErrTransient)).
 var ErrTransient = errors.New("jobs: transient failure")
+
+// SweepSpillDir removes orphaned spill scratch under dir: the per-job
+// "job-*" directories this package creates and the "metaprep-spill-*" run
+// directories the pipeline creates beneath them. Orphans can only exist if
+// a previous daemon process died mid-job (every live code path removes its
+// own scratch), so the daemon calls this once at startup before accepting
+// work. A missing dir is not an error. Files and directories with other
+// names are left untouched — the spill root may be a shared scratch
+// filesystem.
+func SweepSpillDir(dir string) (removed int, err error) {
+	ents, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		if os.IsNotExist(readErr) {
+			return 0, nil
+		}
+		return 0, readErr
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() ||
+			(!strings.HasPrefix(name, "job-") && !strings.HasPrefix(name, "metaprep-spill-")) {
+			continue
+		}
+		if rmErr := os.RemoveAll(filepath.Join(dir, name)); rmErr != nil {
+			if err == nil {
+				err = rmErr
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, err
+}

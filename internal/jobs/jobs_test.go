@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -588,5 +590,180 @@ func TestBufferPoolThreadedThroughJobs(t *testing.T) {
 		// The fake runner never acquires buffers; the figures must simply
 		// be present and zero (core's pool tests cover real reuse).
 		t.Fatalf("unexpected pool figures: hits=%d misses=%d", s.BufPoolHits, s.BufPoolMisses)
+	}
+}
+
+// TestSpillDirPerJobLifecycle checks the executor-concern contract for spill
+// scratch: a spilling job runs with a private job-<ID> directory under the
+// manager's spill root, the stored Config stays clean, and the directory is
+// gone once the job is terminal — for success, failure and cancellation.
+func TestSpillDirPerJobLifecycle(t *testing.T) {
+	root := t.TempDir()
+	type seen struct {
+		dir    string
+		exists bool
+	}
+	outcomes := map[int]error{1: nil, 2: errors.New("pass 1: disk on fire")}
+	var mu sync.Mutex
+	dirs := map[int]seen{}
+	block := make(chan struct{})
+	m := NewManager(Options{Workers: 1, SpillDir: root,
+		Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+			_, statErr := os.Stat(cfg.SpillDir)
+			mu.Lock()
+			dirs[cfg.SplitComponents] = seen{cfg.SpillDir, statErr == nil}
+			mu.Unlock()
+			if cfg.SplitComponents == 3 {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			<-block
+			return &core.Result{}, outcomes[cfg.SplitComponents]
+		}})
+	defer m.Stop()
+
+	submit := func(i int) *Job {
+		cfg := testConfig()
+		cfg.SplitComponents = i
+		cfg.SpillBudgetBytes = 1 << 20
+		j, _, err := m.Submit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	done := submit(1)
+	failed := submit(2)
+	waitState(t, m, done.ID, Running)
+	close(block)
+	waitDone(t, done, 5*time.Second)
+	waitDone(t, failed, 5*time.Second)
+
+	cancelled := submit(3)
+	waitState(t, m, cancelled.ID, Running)
+	if err := m.Cancel(cancelled.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, cancelled, 5*time.Second)
+
+	jobsByKey := map[int]*Job{1: done, 2: failed, 3: cancelled}
+	mu.Lock()
+	defer mu.Unlock()
+	for key, j := range jobsByKey {
+		s, ok := dirs[key]
+		if !ok {
+			t.Fatalf("job %d never ran", key)
+		}
+		want := filepath.Join(root, "job-"+j.ID)
+		if s.dir != want {
+			t.Errorf("job %d ran with SpillDir %q, want %q", key, s.dir, want)
+		}
+		if !s.exists {
+			t.Errorf("job %d: spill dir did not exist while running", key)
+		}
+		if _, err := os.Stat(s.dir); !os.IsNotExist(err) {
+			t.Errorf("job %d: spill dir survived terminal state: stat err = %v", key, err)
+		}
+		if j.Config.SpillDir != "" {
+			t.Errorf("job %d: spill dir leaked into the stored Config: %q", key, j.Config.SpillDir)
+		}
+	}
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill root not empty after all jobs terminal: %v", ents)
+	}
+}
+
+// TestSpillDirRespectsExplicitConfig checks the manager never overrides a
+// job-supplied SpillDir and injects nothing for non-spilling jobs.
+func TestSpillDirRespectsExplicitConfig(t *testing.T) {
+	root := t.TempDir()
+	own := t.TempDir()
+	var mu sync.Mutex
+	got := map[int]string{}
+	m := NewManager(Options{SpillDir: root,
+		Runner: func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+			mu.Lock()
+			got[cfg.SplitComponents] = cfg.SpillDir
+			mu.Unlock()
+			return &core.Result{}, nil
+		}})
+	defer m.Stop()
+
+	explicit := testConfig()
+	explicit.SplitComponents = 1
+	explicit.SpillBudgetBytes = 1 << 20
+	explicit.SpillDir = own
+	j1, _, err := m.Submit(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSpill := testConfig()
+	noSpill.SplitComponents = 2
+	j2, _, err := m.Submit(noSpill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1, 5*time.Second)
+	waitDone(t, j2, 5*time.Second)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if got[1] != own {
+		t.Errorf("explicit SpillDir overridden: got %q, want %q", got[1], own)
+	}
+	if got[2] != "" {
+		t.Errorf("non-spilling job got a spill dir: %q", got[2])
+	}
+	if _, err := os.Stat(own); err != nil {
+		t.Errorf("manager removed a directory it did not create: %v", err)
+	}
+}
+
+// TestSweepSpillDir checks the startup sweep removes exactly the orphan
+// shapes this package and the pipeline create, leaving foreign entries in a
+// shared scratch directory alone.
+func TestSweepSpillDir(t *testing.T) {
+	root := t.TempDir()
+	for _, d := range []string{"job-j12", "job-j9", "metaprep-spill-8842"} {
+		if err := os.MkdirAll(filepath.Join(root, d, "nested"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(root, "unrelated"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A plain file that happens to share the prefix must survive: the sweep
+	// only ever removes directories.
+	if err := os.WriteFile(filepath.Join(root, "job-notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := SweepSpillDir(root)
+	if err != nil {
+		t.Fatalf("SweepSpillDir: %v", err)
+	}
+	if removed != 3 {
+		t.Fatalf("removed %d orphans, want 3", removed)
+	}
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 || names[0] != "job-notes.txt" || names[1] != "unrelated" {
+		t.Fatalf("survivors = %v, want [job-notes.txt unrelated]", names)
+	}
+
+	// Sweeping a directory that does not exist is a no-op, not an error:
+	// the daemon may start before its spill root is first used.
+	if n, err := SweepSpillDir(filepath.Join(root, "missing")); n != 0 || err != nil {
+		t.Fatalf("SweepSpillDir(missing) = %d, %v", n, err)
 	}
 }

@@ -155,6 +155,32 @@ type Cluster struct {
 	// while Merge-Comm/MergeCC run, so only the un-hidden read time is
 	// charged to CC-I/O.
 	OverlapOutput bool
+	// SpillBudgetBytes models core.Config.SpillBudgetBytes: when a pass's
+	// received tuple bytes exceed it, LocalSort runs out of core — sorted
+	// runs stream to disk during the exchange (write-behind on a dedicated
+	// worker, so only the cost generation cannot hide is charged) and
+	// LocalCC pays the read-back plus a k-way merge term that grows with
+	// log₂(runs). 0 keeps every pass in RAM.
+	SpillBudgetBytes int64
+	// SpillCompress models the varint/delta run codec: spilled bytes shrink
+	// by SpillCompressRatio in both directions for extra encode/decode CPU
+	// folded into the same disk terms.
+	SpillCompress bool
+}
+
+// SpillCompressRatio is the modeled compressed/raw size of a spilled run.
+// Sorted tuple keys delta-encode well: neighboring k-mer codes share high
+// bits, so most gaps fit 2-3 varint bytes against 8 raw key bytes.
+const SpillCompressRatio = 0.6
+
+// spillRuns returns the modeled sorted-run count per pass, mirroring
+// core's sizing: runs hold budget/3 bytes each (two exchange-facing
+// builders plus sort scratch), so runs = ⌈passBytes / (budget/3)⌉.
+func (c Cluster) spillRuns(passTupleBytes float64) float64 {
+	if c.SpillBudgetBytes <= 0 || passTupleBytes <= float64(c.SpillBudgetBytes) {
+		return 0
+	}
+	return math.Ceil(passTupleBytes / (float64(c.SpillBudgetBytes) / 3))
 }
 
 // Steps is the model's per-step prediction, aligned with core.StepTimes.
@@ -334,6 +360,25 @@ func Predict(cal Calibration, w Workload, c Cluster) Steps {
 		}
 	}
 	s.LocalSort = sec(tuplesTask / (T * cal.SortTuplesPerSec))
+	var spillCC time.Duration
+	if runs := c.spillRuns(tuplesTask / S * float64(w.TupleBytes)); runs > 0 {
+		// Out of core: each pass's tuples are sorted into `runs` bounded runs
+		// and written behind the exchange by one dedicated worker, so
+		// LocalSort is charged only what generation + exchange cannot hide.
+		diskBytes := tuplesTask * float64(w.TupleBytes)
+		if c.SpillCompress {
+			diskBytes *= SpillCompressRatio
+		}
+		spillCost := sec(tuplesTask/cal.SortTuplesPerSec + diskBytes/writeBW)
+		if hidden := s.KmerGen + s.KmerGenComm; spillCost > hidden {
+			s.LocalSort = spillCost - hidden
+		} else {
+			s.LocalSort = 0
+		}
+		// LocalCC consumes the merged order straight off disk: the read-back
+		// plus one loser-tree comparison path (log₂ runs) per tuple.
+		spillCC = sec(diskBytes/readBW + tuplesTask*math.Log2(runs)/(T*cal.SortTuplesPerSec))
+	}
 	edgesTask := edges / P
 	if c.S > 1 {
 		// First pass at base rate, later passes boosted by §3.5.1.
@@ -342,6 +387,7 @@ func Predict(cal Calibration, w Workload, c Cluster) Steps {
 	} else {
 		s.LocalCC = sec(edgesTask / (T * cal.CCEdgesPerSec))
 	}
+	s.LocalCC += spillCC
 	if c.P > 1 {
 		rounds := 0
 		for step := 1; step < c.P; step <<= 1 {
@@ -426,12 +472,18 @@ func MergeWireBytes(w Workload, c Cluster) int64 {
 }
 
 // MemoryPerTask evaluates §3.7's per-task memory inventory in bytes:
-// index tables + T chunk buffers + kmerOut + kmerIn + p + p′.
+// index tables + T chunk buffers + kmerOut + kmerIn + p + p′. With a spill
+// budget that a pass would exceed, resident tuple memory is the budget
+// itself — that cap is the whole point of the out-of-core path.
 func MemoryPerTask(w Workload, c Cluster) int64 {
 	tuples := w.Tuples / int64(c.P) / int64(c.S)
+	tupleBytes := 2 * int64(w.TupleBytes) * tuples
+	if c.SpillBudgetBytes > 0 && tupleBytes > c.SpillBudgetBytes {
+		tupleBytes = c.SpillBudgetBytes
+	}
 	return w.IndexBytes +
 		int64(c.T)*w.ChunkBytes +
-		2*int64(w.TupleBytes)*tuples +
+		tupleBytes +
 		8*w.Reads
 }
 

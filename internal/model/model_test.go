@@ -346,3 +346,61 @@ func TestMergeWireBytes(t *testing.T) {
 		t.Errorf("P=1 has wire bytes")
 	}
 }
+
+// TestPredictSpillKnobs pins the out-of-core model's shape: under-budget
+// runs are untouched, spilling adds overhead that grows as the budget
+// shrinks, compression trades disk bytes down, and the memory inventory is
+// capped at the budget.
+func TestPredictSpillKnobs(t *testing.T) {
+	cal := Edison()
+	w := PaperWorkload("MM")
+	base := Cluster{P: 4, T: 24, S: 1, SparseDeltaMerge: true, OverlapOutput: true}
+
+	inRAM := Predict(cal, w, base)
+	passBytes := w.Tuples / int64(base.P) * int64(w.TupleBytes)
+
+	// A budget the pass fits inside changes nothing.
+	big := base
+	big.SpillBudgetBytes = 2 * passBytes
+	if got := Predict(cal, w, big); got != inRAM {
+		t.Errorf("under-budget spill config changed the prediction:\n%+v\n%+v", got, inRAM)
+	}
+
+	// Halving the budget can only slow the run down, monotonically.
+	prev := inRAM.Total()
+	prevCC := inRAM.LocalCC
+	for _, div := range []int64{4, 8, 16, 64} {
+		c := base
+		c.SpillBudgetBytes = passBytes / div
+		s := Predict(cal, w, c)
+		if s.Total() < prev {
+			t.Errorf("budget 1/%d: total %v faster than larger budget %v", div, s.Total(), prev)
+		}
+		if s.LocalCC <= prevCC {
+			t.Errorf("budget 1/%d: LocalCC %v not above %v (read-back + log(runs) merge term)", div, s.LocalCC, prevCC)
+		}
+		prev, prevCC = s.Total(), s.LocalCC
+	}
+
+	// Compression shrinks the disk terms of a spilling run.
+	spill := base
+	spill.SpillBudgetBytes = passBytes / 8
+	comp := spill
+	comp.SpillCompress = true
+	su, sc := Predict(cal, w, spill), Predict(cal, w, comp)
+	if sc.LocalCC >= su.LocalCC {
+		t.Errorf("compressed read-back %v not below raw %v", sc.LocalCC, su.LocalCC)
+	}
+	if sc.Total() >= su.Total() {
+		t.Errorf("compressed total %v not below raw %v", sc.Total(), su.Total())
+	}
+
+	// The memory model honors the cap: resident tuple bytes stop growing at
+	// the budget while the in-RAM inventory keeps the full working set.
+	memRAM := MemoryPerTask(w, base)
+	memSpill := MemoryPerTask(w, spill)
+	wantDrop := 2*int64(w.TupleBytes)*(w.Tuples/int64(base.P)) - spill.SpillBudgetBytes
+	if memRAM-memSpill != wantDrop {
+		t.Errorf("MemoryPerTask spill cap: got %d, want %d less than %d", memSpill, wantDrop, memRAM)
+	}
+}

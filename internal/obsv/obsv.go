@@ -34,6 +34,7 @@ const (
 	TidComm     = 1   // mpirt point-to-point communication
 	TidExchange = 2   // streaming exchange: the chunk-drain (send) goroutine
 	TidExchRecv = 3   // streaming exchange: the chunk-landing (recv) goroutine
+	TidSpill    = 4   // out-of-core LocalSort: the spill sort/write worker
 	TidWorker   = 10  // + thread index: worker threads
 	TidPrefetch = 100 // + thread index: prefetch reader goroutines
 )

@@ -133,6 +133,12 @@ type SubmitRequest struct {
 	EdisonNet        bool   `json:"edison_net"`
 	PrefetchChunks   int    `json:"prefetch_chunks"`
 	NoPrefetch       bool   `json:"no_prefetch"`
+	// SpillBudgetBytes caps resident tuple memory per rank; when the
+	// exchange would exceed it, LocalSort runs out of core via sorted runs
+	// on disk. Scratch placement is the daemon's concern (-spill-dir), so
+	// there is deliberately no spill_dir field here.
+	SpillBudgetBytes int64 `json:"spill_budget_bytes"`
+	SpillCompress    bool  `json:"spill_compress"`
 }
 
 // SubmitResponse answers POST /jobs.
@@ -201,6 +207,8 @@ func (s *Server) configFor(req SubmitRequest) (core.Config, error) {
 	cfg.OutDir = req.OutDir
 	cfg.PrefetchChunks = req.PrefetchChunks
 	cfg.NoPrefetch = req.NoPrefetch
+	cfg.SpillBudgetBytes = req.SpillBudgetBytes
+	cfg.SpillCompress = req.SpillCompress
 	if req.EdisonNet {
 		cfg.Network = mpirt.EdisonNetwork()
 	}

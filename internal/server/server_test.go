@@ -556,3 +556,70 @@ func TestIndexCacheReload(t *testing.T) {
 		t.Fatalf("job on rebuilt index: %+v", st)
 	}
 }
+
+// TestSubmitSpillKnobs checks the out-of-core fields flow from the request
+// body into the pipeline config: an invalid budget is rejected at admission
+// with a 400 naming the field, and a valid spill submission (budget + codec,
+// per-job scratch under the manager's spill root) matches the in-RAM run.
+func TestSubmitSpillKnobs(t *testing.T) {
+	idxPath := buildIndexFile(t, 13)
+	root := t.TempDir()
+	srv, _ := newTestServer(t, jobs.Options{SpillDir: root}, Options{})
+
+	// Below core.MinSpillBudgetBytes: rejected before a job exists.
+	bad := fmt.Sprintf(`{"index": %q, "spill_budget_bytes": 1024}`, idxPath)
+	resp, data := postJSON(t, srv.URL+"/jobs", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST /jobs with tiny budget: %d %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "SpillBudgetBytes") {
+		t.Fatalf("400 body does not name the offending field: %s", data)
+	}
+
+	body := fmt.Sprintf(
+		`{"index": %q, "tasks": 2, "threads": 2, "spill_budget_bytes": %d, "spill_compress": true}`,
+		idxPath, core.MinSpillBudgetBytes)
+	resp, data = postJSON(t, srv.URL+"/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d %s", resp.StatusCode, data)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if st := pollDone(t, srv.URL, sub.ID); st.State != jobs.Done {
+		t.Fatalf("spill job finished %s: %+v", st.State, st)
+	}
+	var got core.Result
+	if resp := getJSON(t, srv.URL+"/jobs/"+sub.ID+"/result", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: %d", resp.StatusCode)
+	}
+
+	idx, err := index.Load(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Default(idx)
+	cfg.Tasks, cfg.Threads = 2, 2
+	want, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Components != want.Components || len(got.Labels) != len(want.Labels) {
+		t.Fatalf("spill result diverges: {comps %d labels %d}, want {%d %d}",
+			got.Components, len(got.Labels), want.Components, len(want.Labels))
+	}
+	for i := range got.Labels {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("labels diverge at read %d: %d vs %d", i, got.Labels[i], want.Labels[i])
+		}
+	}
+	// Terminal job: its per-job scratch under the spill root is gone.
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill root not empty after job done: %v", ents)
+	}
+}

@@ -114,6 +114,11 @@ type ConfigError = core.ConfigError
 // ErrInvalidConfig is the sentinel every ConfigError wraps.
 var ErrInvalidConfig = core.ErrInvalidConfig
 
+// MinSpillBudgetBytes is the smallest accepted Config.SpillBudgetBytes: the
+// out-of-core LocalSort needs room for three bounded run builders plus merge
+// read-ahead blocks, so budgets below 64 KiB are rejected at validation.
+const MinSpillBudgetBytes = core.MinSpillBudgetBytes
+
 // ValidateConfig checks a pipeline configuration, returning a *ConfigError
 // for the first violated invariant (nil index, k out of the 64/128-bit
 // ranges, m ≥ k, tasks/threads/passes < 1, inverted filter bounds, …).
