@@ -1,0 +1,70 @@
+// drift.go is the `metaprep drift` subcommand: it renders a performance
+// trajectory (the JSONL file `metaprep run -trajectory` and metaprepd
+// -trajectory append to) as a predicted-vs-measured table, so model drift
+// is visible across runs, commits and machines instead of only within one
+// process lifetime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"time"
+
+	"metaprep/internal/stats"
+	"metaprep/internal/traj"
+)
+
+func cmdDrift(args []string) error {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	path := fs.String("trajectory", "results/trajectory.jsonl", "trajectory JSONL file to render")
+	last := fs.Int("last", 0, "only show the most recent N records (0 = all)")
+	warn := fs.Float64("warn", 2.0, "flag records whose worst step ratio exceeds this factor in either direction")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("drift: unexpected arguments: %v", fs.Args())
+	}
+	if *warn < 1 {
+		return fmt.Errorf("drift: -warn must be >= 1")
+	}
+	recs, err := traj.Load(*path)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("drift: %s has no records", *path)
+	}
+	if *last > 0 && len(recs) > *last {
+		recs = recs[len(recs)-*last:]
+	}
+
+	t := stats.NewTable("When", "Job", "Dataset", "P", "T", "S", "Wall", "Total x", "Worst step", "Worst x", "Wire x", "")
+	flagged := 0
+	for _, r := range recs {
+		job := r.Job
+		if job == "" {
+			job = "-"
+		}
+		if r.Drift == nil {
+			t.AddRow(r.Time.Format(time.DateTime), job, r.Dataset,
+				r.Tasks, r.Threads, r.Passes, r.Wall().Round(time.Millisecond),
+				"-", "-", "-", "-", "")
+			continue
+		}
+		d := r.Drift
+		w := d.Worst()
+		mark := ""
+		if dev := math.Abs(math.Log(w.Ratio)); dev > math.Log(*warn) {
+			mark = "DRIFT"
+			flagged++
+		}
+		t.AddRow(r.Time.Format(time.DateTime), job, r.Dataset,
+			r.Tasks, r.Threads, r.Passes, r.Wall().Round(time.Millisecond),
+			fmt.Sprintf("%.2f", d.TotalRatio), w.Step, fmt.Sprintf("%.2f", w.Ratio),
+			fmt.Sprintf("%.2f", d.WireRatio), mark)
+	}
+	fmt.Print(t.String())
+	fmt.Printf("%d runs, %d past the %.1fx drift bound (calibration: measured/predicted; 1.00 = model exact)\n",
+		len(recs), flagged, *warn)
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"metaprep"
 	"metaprep/internal/obsv"
 	"metaprep/internal/stats"
+	"metaprep/internal/traj"
 )
 
 // parseBytes reads a byte count with an optional K/M/G/T suffix (powers of
@@ -67,6 +69,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "checktrace":
 		err = cmdCheckTrace(os.Args[2:])
+	case "drift":
+		err = cmdDrift(os.Args[2:])
 	case "normalize":
 		err = cmdNormalize(os.Args[2:])
 	case "interleave":
@@ -90,9 +94,11 @@ func usage() {
                       [-exchange-chunk N] [-prefetch N] [-no-prefetch]
                       [-spill-budget BYTES] [-spill-dir DIR] [-spill-compress]
                       [-trace FILE] [-metrics FILE] [-counters FILE|-]
+                      [-drift-cal edison|ganga|off] [-trajectory FILE]
                       [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
   metaprep stats      -index FILE
   metaprep checktrace -trace FILE [-metrics FILE] [-tol 0.01]
+  metaprep drift      [-trajectory results/trajectory.jsonl] [-last N] [-warn 2.0]
   metaprep normalize  [-k 20] [-target 20] [-paired] -out FILE fastq...
   metaprep interleave -out FILE mate1.fastq mate2.fastq`)
 	os.Exit(2)
@@ -146,6 +152,8 @@ func cmdRun(args []string) error {
 	spillBudget := fs.String("spill-budget", "", "per-rank tuple memory budget, e.g. 256M or 2G; when the exchange would exceed it LocalSort spills sorted runs to disk and merges them as a stream (empty = all in RAM)")
 	spillDir := fs.String("spill-dir", "", "directory for spill run files (empty = the OS temp dir)")
 	spillCompress := fs.Bool("spill-compress", false, "varint/delta-compress spill runs (64-bit keys only): less disk bandwidth for more CPU")
+	driftCal := fs.String("drift-cal", "", "model calibration for the drift report: edison (default), ganga, or off")
+	trajectory := fs.String("trajectory", "", "append this run's perf record (shape, wall, drift) to a JSONL trajectory (see 'metaprep drift')")
 	labelsPath := fs.String("labels", "", "also save the component label array here")
 	tracePath := fs.String("trace", "", "write a Perfetto-loadable Chrome trace of the run here")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot (steps, per-task reports, counters) here")
@@ -191,6 +199,7 @@ func cmdRun(args []string) error {
 	}
 	cfg.SpillDir = *spillDir
 	cfg.SpillCompress = *spillCompress
+	cfg.DriftCal = *driftCal
 	if *edisonNet {
 		cfg.Network = metaprep.EdisonNetwork()
 	}
@@ -229,6 +238,18 @@ func cmdRun(args []string) error {
 	fmt.Printf("reads=%d tuples=%d edges=%d components=%d largest=%d (%.1f%%) mem/task=%.1fMB\n",
 		res.Reads, res.Tuples, res.Edges, res.Components, res.LargestSize,
 		100*res.LargestFraction(), float64(res.MemoryPerTask)/float64(1<<20))
+	if res.Drift != nil {
+		fmt.Println(res.Drift)
+	}
+	if *trajectory != "" {
+		rec := traj.FromResult(cfg, res)
+		rec.Time = time.Now()
+		rec.Dataset = filepath.Base(*idxPath)
+		if err := traj.Append(*trajectory, rec); err != nil {
+			return err
+		}
+		fmt.Printf("trajectory: %s\n", *trajectory)
+	}
 	if obs != nil {
 		if *tracePath != "" {
 			if err := obs.SaveTrace(*tracePath); err != nil {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"metaprep"
+	"metaprep/internal/traj"
 )
 
 // writeDataset generates a small paired dataset for CLI tests.
@@ -167,5 +168,54 @@ func TestCLISpillFlags(t *testing.T) {
 	if err := cmdRun([]string{"-index", idxPath, "-spill-budget", "lots"}); err == nil ||
 		errors.Is(err, metaprep.ErrInvalidConfig) {
 		t.Errorf("run -spill-budget lots: err = %v, want a parse error", err)
+	}
+}
+
+// TestCLIDriftLoop exercises the drift feedback loop end to end: runs append
+// trajectory records (with and without a drift report), `metaprep drift`
+// renders them, and the calibration knob validates.
+func TestCLIDriftLoop(t *testing.T) {
+	dir := t.TempDir()
+	files := writeDataset(t, filepath.Join(dir, "data"))
+	idxPath := filepath.Join(dir, "ds.idx")
+	args := append([]string{"-k", "27", "-paired", "-chunk", "131072", "-out", idxPath}, files...)
+	if err := cmdIndex(args); err != nil {
+		t.Fatalf("index: %v", err)
+	}
+
+	trajPath := filepath.Join(dir, "trajectory.jsonl")
+	if err := cmdRun([]string{
+		"-index", idxPath, "-tasks", "2", "-threads", "2", "-trajectory", trajPath,
+	}); err != nil {
+		t.Fatalf("run with trajectory: %v", err)
+	}
+	if err := cmdRun([]string{
+		"-index", idxPath, "-drift-cal", "off", "-trajectory", trajPath,
+	}); err != nil {
+		t.Fatalf("run with drift off: %v", err)
+	}
+	recs, err := traj.Load(trajPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Drift == nil || recs[1].Drift != nil {
+		t.Fatalf("trajectory records = %d (drift %v, %v), want drifted then undrifted",
+			len(recs), recs[0].Drift != nil, recs[1].Drift != nil)
+	}
+	if !recs[0].Drift.Finite() {
+		t.Fatalf("recorded drift not finite: %s", recs[0].Drift)
+	}
+
+	if err := cmdDrift([]string{"-trajectory", trajPath}); err != nil {
+		t.Fatalf("drift: %v", err)
+	}
+	if err := cmdDrift([]string{"-trajectory", trajPath, "-last", "1", "-warn", "1.5"}); err != nil {
+		t.Fatalf("drift -last: %v", err)
+	}
+	if err := cmdDrift([]string{"-trajectory", filepath.Join(dir, "nope.jsonl")}); err == nil {
+		t.Error("drift on a missing trajectory succeeded")
+	}
+	if err := cmdRun([]string{"-index", idxPath, "-drift-cal", "cray"}); !errors.Is(err, metaprep.ErrInvalidConfig) {
+		t.Errorf("run -drift-cal cray: err = %v, want ErrInvalidConfig", err)
 	}
 }

@@ -31,8 +31,12 @@ type taskJSON struct {
 	Edges       uint64     `json:"edges"`
 	BytesSent   int64      `json:"bytes_sent"`
 	MergeBytes  int64      `json:"merge_bytes"`
+	SpillBytes  int64      `json:"spill_bytes,omitempty"`
 	CCIters     int        `json:"cc_iters"`
 	MemoryBytes int64      `json:"memory_bytes"`
+	// DriftRatio is this task's total time over the model's predicted
+	// per-task total (load imbalance shows up as per-task spread here).
+	DriftRatio float64 `json:"drift_ratio,omitempty"`
 }
 
 // metricsJSON is the -metrics document: the run's aggregate step times (max
@@ -43,6 +47,8 @@ type metricsJSON struct {
 	StepsMax  []stepJSON              `json:"steps_max"`
 	PerTask   []taskJSON              `json:"per_task"`
 	Counters  []metaprep.CounterValue `json:"counters"`
+	// Drift is the run's model reconciliation (absent with -drift-cal off).
+	Drift *metaprep.DriftReport `json:"drift,omitempty"`
 }
 
 func stepsToJSON(s metaprep.StepTimes) []stepJSON {
@@ -57,6 +63,7 @@ func writeMetrics(path string, res *metaprep.Result, obs *metaprep.Collector) er
 		WallNanos: int64(res.Wall),
 		StepsMax:  stepsToJSON(res.Steps),
 		Counters:  obs.Counters(),
+		Drift:     res.Drift,
 	}
 	for _, rep := range res.PerTask {
 		doc.PerTask = append(doc.PerTask, taskJSON{
@@ -67,8 +74,10 @@ func writeMetrics(path string, res *metaprep.Result, obs *metaprep.Collector) er
 			Edges:       rep.Edges,
 			BytesSent:   rep.BytesSent,
 			MergeBytes:  rep.MergeBytes,
+			SpillBytes:  rep.SpillBytes,
 			CCIters:     rep.CCIters,
 			MemoryBytes: rep.MemoryBytes,
+			DriftRatio:  rep.DriftRatio,
 		})
 	}
 	f, err := os.Create(path)

@@ -10,8 +10,15 @@
 //	curl -s localhost:8077/jobs -d '{"index":"ds.idx","tasks":2,"threads":2}'
 //
 // then poll /jobs/{id}, stream /jobs/{id}/events (SSE), fetch
-// /jobs/{id}/result, or POST /jobs/{id}/cancel. /healthz, /readyz,
-// /metrics and /debug/pprof serve operations.
+// /jobs/{id}/result or /jobs/{id}/trace (the flight-recorder dump), or
+// POST /jobs/{id}/cancel. /healthz, /readyz, /metrics and /debug/pprof
+// serve operations.
+//
+// Every job runs with a bounded flight recorder; -trace-dir and -trace-slo
+// dump a failing or slow job's trace automatically, and -trajectory
+// appends each completed job's perf record (with its model-drift report)
+// to a JSONL file `metaprep drift` can render. Logs are structured
+// (-log-format text|json) and each job's records carry its job ID.
 //
 // On SIGTERM (or SIGINT) the daemon drains gracefully: readiness flips to
 // 503, new submissions are rejected, and running jobs finish before the
@@ -25,7 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"metaprep/internal/jobs"
+	"metaprep/internal/obsv"
 	"metaprep/internal/server"
 )
 
@@ -57,20 +65,37 @@ func run(args []string, sigc chan os.Signal) error {
 	progress := fs.Duration("progress", 200*time.Millisecond, "SSE progress snapshot interval")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs on shutdown")
 	spillDir := fs.String("spill-dir", "", "root for out-of-core spill scratch: each spilling job gets a private subdirectory, removed when the job ends; orphans from a crashed daemon are swept at startup (empty = the OS temp dir, unmanaged)")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	ringEvents := fs.Int("ring-events", 0, "flight-recorder capacity in spans per job (0 = default, negative = unbounded)")
+	traceDir := fs.String("trace-dir", "", "directory for automatic flight-recorder dumps of failed, cancelled or SLO-breaching jobs (empty disables dumps)")
+	traceSLO := fs.Duration("trace-slo", 0, "run-time latency SLO: a successful job slower than this dumps its trace to -trace-dir (0 disables)")
+	trajectory := fs.String("trajectory", "", "JSONL perf-trajectory file appended on every completed job (see `metaprep drift`)")
+	driftCal := fs.String("drift-cal", "", "model calibration for the per-job drift report: edison (default), ganga, or off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	lg, err := obsv.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		return err
+	}
 
 	// Sweep spill orphans before accepting work: scratch under -spill-dir
-	// can only be left behind by a previous daemon that died mid-job.
+	// can only be left behind by a previous daemon that died mid-job. Each
+	// removed path is logged — scratch deletion should never be silent.
+	var swept []string
 	if *spillDir != "" {
-		if n, err := jobs.SweepSpillDir(*spillDir); err != nil {
+		swept, err = jobs.SweepSpillDir(*spillDir)
+		if err != nil {
 			return fmt.Errorf("spill-dir sweep: %w", err)
-		} else if n > 0 {
-			log.Printf("metaprepd: swept %d orphaned spill dir(s) under %s", n, *spillDir)
+		}
+		for _, path := range swept {
+			lg.Info("swept orphaned spill scratch", "path", path)
+		}
+		if len(swept) > 0 {
+			lg.Info("spill-dir sweep complete", "removed", len(swept), "dir", *spillDir)
 		}
 	}
 
@@ -79,19 +104,29 @@ func run(args []string, sigc chan os.Signal) error {
 		return err
 	}
 	mgr := jobs.NewManager(jobs.Options{
-		Workers:  *workers,
-		QueueCap: *queue,
-		CacheCap: *cacheCap,
-		Retries:  *retries,
-		SpillDir: *spillDir,
+		Workers:    *workers,
+		QueueCap:   *queue,
+		CacheCap:   *cacheCap,
+		Retries:    *retries,
+		SpillDir:   *spillDir,
+		RingEvents: *ringEvents,
+		TraceDir:   *traceDir,
+		TraceSLO:   *traceSLO,
+		Trajectory: *trajectory,
+		DriftCal:   *driftCal,
+		Logger:     lg,
 	})
-	srv := server.New(mgr, server.Options{ProgressInterval: *progress})
+	srv := server.New(mgr, server.Options{
+		ProgressInterval: *progress,
+		OrphansSwept:     len(swept),
+		Logger:           lg,
+	})
 	httpSrv := &http.Server{Handler: srv}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("metaprepd: listening on %s (workers=%d queue=%d cache=%d)",
-			ln.Addr(), *workers, *queue, *cacheCap)
+		lg.Info("listening", "addr", ln.Addr().String(),
+			"workers", *workers, "queue", *queue, "cache", *cacheCap)
 		errc <- httpSrv.Serve(ln)
 	}()
 
@@ -101,30 +136,30 @@ func run(args []string, sigc chan os.Signal) error {
 	}
 	select {
 	case sig := <-sigc:
-		log.Printf("metaprepd: %v — draining (readyz now 503; running jobs finish, max %s)",
-			sig, *drainTimeout)
+		lg.Info("draining on signal (readyz now 503; running jobs finish)",
+			"signal", sig.String(), "max_wait", *drainTimeout)
 		go func() {
 			<-sigc
-			log.Printf("metaprepd: second signal — forcing shutdown")
+			lg.Warn("second signal — forcing shutdown")
 			os.Exit(1)
 		}()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Drain(ctx); err != nil {
-			log.Printf("metaprepd: drain timed out (%v) — cancelling remaining jobs", err)
+			lg.Warn("drain timed out — cancelling remaining jobs", "err", err)
 			mgr.Stop()
 			waitCtx, waitCancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer waitCancel()
 			if err := mgr.Drain(waitCtx); err != nil {
-				log.Printf("metaprepd: jobs did not stop: %v", err)
+				lg.Error("jobs did not stop", "err", err)
 			}
 		}
 		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer shutCancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			log.Printf("metaprepd: http shutdown: %v", err)
+			lg.Error("http shutdown", "err", err)
 		}
-		log.Printf("metaprepd: drained, exiting")
+		lg.Info("drained, exiting")
 		return nil
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
@@ -184,6 +185,18 @@ type Config struct {
 	// path stays allocation-free and benchmark-neutral (see
 	// BenchmarkPipelineObsv and EXPERIMENTS.md).
 	Obs *obsv.Collector
+	// DriftCal selects the calibration the post-run drift reconciliation
+	// predicts with: "edison" (default, also ""), "ganga", or "off" to skip
+	// reconciliation entirely. After every run the measured per-step times
+	// and byte volumes are compared against model.Predict for this run's
+	// actual Workload/Cluster parameters; the report lands in Result.Drift.
+	// Never affects pipeline results and is excluded from CanonicalHash.
+	DriftCal string
+	// Log, when non-nil, receives structured run-lifecycle records (start,
+	// finish, failure) with the job correlation ID from the context when the
+	// caller threaded one through obsv.WithJobID. Nil logs nothing. Never
+	// affects results and is excluded from CanonicalHash.
+	Log *slog.Logger
 }
 
 // Default returns a single-task configuration with sensible defaults for
@@ -289,6 +302,9 @@ func (c Config) Validate() error {
 		if err := checkSpillDir(c.SpillDir); err != nil {
 			return &ConfigError{Field: "SpillDir", Reason: err.Error()}
 		}
+	}
+	if _, _, err := driftCalibration(c.DriftCal); err != nil {
+		return &ConfigError{Field: "DriftCal", Reason: err.Error()}
 	}
 	return nil
 }

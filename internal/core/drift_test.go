@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"metaprep/internal/obsv"
+)
+
+// TestRunAttachesDriftReport checks the default drift reconciliation: a
+// plain run yields a finite report with all eight steps, measured values
+// matching the run's own accounting, and per-task ratios set.
+func TestRunAttachesDriftReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	td := overlappingDataset(t, rng, smallOpts(), 4, 400, 160, 40)
+	cfg := Default(td.idx)
+	cfg.Tasks = 2
+	cfg.Threads = 2
+	cfg.Passes = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Drift
+	if d == nil {
+		t.Fatal("no drift report on default config")
+	}
+	if !d.Finite() {
+		t.Fatalf("non-finite drift report: %+v", d)
+	}
+	if d.Calibration != "edison" {
+		t.Fatalf("calibration = %q", d.Calibration)
+	}
+	if len(d.Steps) != 8 {
+		t.Fatalf("%d drift steps", len(d.Steps))
+	}
+	if d.TotalMeasured != res.Steps.Total() {
+		t.Fatalf("measured total %v != step total %v", d.TotalMeasured, res.Steps.Total())
+	}
+	var wire int64
+	for _, rep := range res.PerTask {
+		wire += rep.BytesSent
+		if rep.DriftRatio <= 0 {
+			t.Fatalf("task %d: drift ratio %v", rep.Rank, rep.DriftRatio)
+		}
+	}
+	if d.WireMeasured != wire {
+		t.Fatalf("wire measured %d, tasks sent %d", d.WireMeasured, wire)
+	}
+	if d.SpillMeasured != 0 || d.SpillPredicted != 0 {
+		t.Fatalf("in-RAM run reports spill: %d/%d", d.SpillMeasured, d.SpillPredicted)
+	}
+	if !strings.Contains(d.String(), "drift(edison)") {
+		t.Fatalf("summary = %q", d.String())
+	}
+}
+
+// TestDriftOffAndInvalid checks the off switch and the validation error.
+func TestDriftOffAndInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	td := overlappingDataset(t, rng, smallOpts(), 3, 200, 80, 30)
+	cfg := Default(td.idx)
+	cfg.DriftCal = "off"
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drift != nil {
+		t.Fatal("drift report despite DriftCal=off")
+	}
+	for _, rep := range res.PerTask {
+		if rep.DriftRatio != 0 {
+			t.Fatalf("per-task ratio set despite off: %v", rep.DriftRatio)
+		}
+	}
+	cfg.DriftCal = "cray"
+	if err := cfg.Validate(); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("bad calibration not rejected: %v", err)
+	}
+}
+
+// TestDriftMeasuresSpill runs the out-of-core path and expects both sides
+// of the spill comparison populated.
+func TestDriftMeasuresSpill(t *testing.T) {
+	td := spillDataset(t, 23, smallOpts())
+	cfg := Default(td.idx)
+	cfg.Tasks = 2
+	cfg.SpillBudgetBytes = MinSpillBudgetBytes
+	requireSpill(t, cfg)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spilled int64
+	for _, rep := range res.PerTask {
+		spilled += rep.SpillBytes
+	}
+	if spilled <= 0 {
+		t.Fatal("spill run wrote nothing (budget did not trigger)")
+	}
+	if res.Drift == nil || res.Drift.SpillMeasured != spilled {
+		t.Fatalf("drift spill measured %v, tasks wrote %d", res.Drift, spilled)
+	}
+	if res.Drift.SpillPredicted <= 0 {
+		t.Fatalf("model predicted no spill for an over-budget run")
+	}
+	if !res.Drift.Finite() {
+		t.Fatalf("non-finite spill drift: %+v", res.Drift)
+	}
+}
+
+// TestStepHistogramsPopulated checks that every "step" span lands in the
+// matching per-rank step/<name> histogram with identical counts and sums.
+func TestStepHistogramsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	td := overlappingDataset(t, rng, smallOpts(), 4, 300, 120, 35)
+	cfg := Default(td.idx)
+	cfg.Tasks = 2
+	cfg.Threads = 2
+	cfg.Passes = 2
+	cfg.OutDir = t.TempDir()
+	cfg.Obs = obsv.New()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		rank int
+		name string
+	}
+	spanCount := make(map[key]uint64)
+	spanSum := make(map[key]int64)
+	for _, ev := range cfg.Obs.Events() {
+		if ev.Cat == "step" {
+			k := key{ev.Pid, "step/" + ev.Name}
+			spanCount[k]++
+			spanSum[k] += int64(ev.Dur)
+		}
+	}
+	if len(spanCount) == 0 {
+		t.Fatal("no step spans")
+	}
+	hists := make(map[key]obsv.HistogramSnapshot)
+	for _, hv := range cfg.Obs.Histograms() {
+		hists[key{hv.Rank, hv.Name}] = hv.Snap
+	}
+	for k, n := range spanCount {
+		h, ok := hists[k]
+		if !ok {
+			t.Fatalf("%v: span recorded but no histogram", k)
+		}
+		if h.Count != n || h.SumNanos != spanSum[k] {
+			t.Fatalf("%v: histogram count %d sum %d, spans %d sum %d",
+				k, h.Count, h.SumNanos, n, spanSum[k])
+		}
+	}
+	for k := range hists {
+		if _, ok := spanCount[k]; !ok {
+			t.Fatalf("%v: histogram without spans", k)
+		}
+	}
+}

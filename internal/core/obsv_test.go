@@ -171,23 +171,27 @@ func TestRunCountObsv(t *testing.T) {
 }
 
 // BenchmarkPipelineObsv measures the full pipeline with the collector off
-// (the nil no-op default) and on — the EXPERIMENTS.md overhead table. The
-// "off" case must be indistinguishable from the pre-observability pipeline.
+// (the nil no-op default), on (unbounded), and in flight-recorder ring mode
+// — the EXPERIMENTS.md overhead table. The "off" case must be
+// indistinguishable from the pre-observability pipeline; "ring" — what the
+// daemon runs on every job — must stay within ~2% of "off".
 func BenchmarkPipelineObsv(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	td := overlappingDataset(b, rng, smallOpts(), 4, 500, 400, 45)
 	for _, mode := range []struct {
 		name string
-		on   bool
-	}{{"off", false}, {"on", true}} {
+		mk   func() *obsv.Collector
+	}{
+		{"off", func() *obsv.Collector { return nil }},
+		{"on", obsv.New},
+		{"ring", func() *obsv.Collector { return obsv.NewRing(0) }},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := Default(td.idx)
 				cfg.Tasks = 2
 				cfg.Threads = 2
-				if mode.on {
-					cfg.Obs = obsv.New()
-				}
+				cfg.Obs = mode.mk()
 				if _, err := Run(cfg); err != nil {
 					b.Fatal(err)
 				}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"metaprep/internal/model"
 	"metaprep/internal/mpirt"
 	"metaprep/internal/obsv"
 	"metaprep/internal/radix"
@@ -105,12 +106,18 @@ func newTaskState(ctx context.Context, pl *plan, task *mpirt.Task) *taskState {
 	return st
 }
 
-// stepSpan records one "step"-category span on this task's step track.
-// Every call site passes the exact duration it just added to rep.Steps —
+// stepSpan records one "step"-category span on this task's step track and
+// folds the duration into the rank's per-step latency histogram. Every
+// call site passes the exact duration it just added to rep.Steps —
 // including modeled network time — so the per-task sum of step spans
 // reconciles with StepTimes.Total (the `metaprep checktrace` invariant).
+// The early return keeps the disabled path free of the name concatenation.
 func (st *taskState) stepSpan(name string, start time.Time, d time.Duration) {
+	if st.obs == nil {
+		return
+	}
 	st.obs.RecordSpan(st.rank, obsv.TidSteps, "step", name, start, d, nil)
+	st.obs.Histogram(st.rank, "step/"+name).Observe(d)
 }
 
 // counter resolves a per-rank counter (nil, a no-op, when observability
@@ -178,6 +185,15 @@ type TaskReport struct {
 	// tuple buffers, the two component arrays and the FASTQ chunk buffers
 	// (§3.7's inventory).
 	MemoryBytes int64
+	// SpillBytes is what the out-of-core LocalSort wrote to scratch on this
+	// task (0 when every pass stayed in RAM) — the measured side of the
+	// drift report's spill comparison.
+	SpillBytes int64
+	// DriftRatio is this task's total step time against the model's
+	// prediction for the run (ε-smoothed, always finite; 0 when drift
+	// reconciliation is off). One task drifting alone is load imbalance,
+	// not model drift.
+	DriftRatio float64
 }
 
 // Result is the outcome of a pipeline run.
@@ -219,6 +235,10 @@ type Result struct {
 	// file sets when SplitComponents > 0 (groups ordered largest first,
 	// remainder last). Nil otherwise.
 	SplitFiles [][]string
+	// Drift is the post-run model reconciliation: measured step times and
+	// byte volumes against model.Predict for this run's actual parameters.
+	// Nil when Config.DriftCal is "off".
+	Drift *model.DriftReport
 }
 
 // LargestFraction returns the largest component's share of all reads, the
@@ -252,6 +272,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	pl, err := newPlan(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Log != nil {
+		cfg.Log.InfoContext(ctx, "pipeline start",
+			"tasks", cfg.Tasks, "threads", cfg.Threads, "passes", cfg.Passes,
+			"reads", pl.idx.Reads, "tuples", pl.idx.TotalKmers, "spill", pl.spill)
 	}
 	if cfg.OutDir != "" {
 		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
@@ -383,6 +408,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil
 	})
 	if err != nil {
+		if cfg.Log != nil {
+			cfg.Log.ErrorContext(ctx, "pipeline failed",
+				"err", err, "wall", time.Since(start))
+		}
 		return nil, err
 	}
 
@@ -395,11 +424,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		PerTask:     reports,
 		Wall:        time.Since(start),
 	}
-	comps := make(map[uint32]struct{})
+	comps := make(map[uint32]int)
 	for _, l := range final.labels {
-		comps[l] = struct{}{}
+		comps[l]++
 	}
 	res.Components = len(comps)
+	singletons := 0
+	for _, n := range comps {
+		if n == 1 {
+			singletons++
+		}
+	}
 	for _, rep := range reports {
 		res.Tuples += rep.Tuples
 		res.Edges += rep.Edges
@@ -431,6 +466,21 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		for f, c := range freqHists[rank] {
 			res.KmerFreqHist[f] += c
 		}
+	}
+	var nonSingletonFrac float64
+	if pl.idx.Reads > 0 {
+		nonSingletonFrac = float64(int(pl.idx.Reads)-singletons) / float64(pl.idx.Reads)
+	}
+	reconcileDrift(cfg, res, nonSingletonFrac)
+	if cfg.Log != nil {
+		attrs := []any{
+			"wall", res.Wall, "components", res.Components,
+			"largest_frac", res.LargestFraction(), "step_total", res.Steps.Total(),
+		}
+		if res.Drift != nil {
+			attrs = append(attrs, "drift_total", res.Drift.TotalRatio)
+		}
+		cfg.Log.InfoContext(ctx, "pipeline done", attrs...)
 	}
 	return res, nil
 }

@@ -302,6 +302,7 @@ func (st *taskState) localSortSpill(sp *spillState) error {
 	if err != nil {
 		return err
 	}
+	st.rep.SpillBytes += sp.w.BytesWritten()
 	st.counter("extsort/bytes_spilled").Add(uint64(sp.w.BytesWritten()))
 	st.counter("extsort/runs").Add(uint64(len(sp.infos)))
 	return nil

@@ -225,6 +225,7 @@ func (st *taskState) ccFinish(t0 time.Time, edgeCounts []uint64, retries [][]uni
 		args = map[string]any{"edges": edgesOf(edgeCounts), "iterations": iters}
 	}
 	st.obs.RecordSpan(st.rank, obsv.TidSteps, "step", "LocalCC", t0, d, args)
+	st.obs.Histogram(st.rank, "step/LocalCC").Observe(d)
 }
 
 func edgesOf(counts []uint64) uint64 {

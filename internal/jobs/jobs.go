@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"metaprep/internal/core"
+	"metaprep/internal/model"
 	"metaprep/internal/obsv"
 )
 
@@ -90,6 +92,30 @@ type Options struct {
 	// daemon process left behind. Empty leaves spill placement to the
 	// job's Config (the OS temp dir by default).
 	SpillDir string
+	// RingEvents sizes each job's flight recorder: the per-job collector
+	// keeps the most recent RingEvents spans in a bounded ring, cheap enough
+	// to leave on for every job (default obsv.DefaultRingEvents; negative
+	// selects an unbounded collector for offline-trace use).
+	RingEvents int
+	// TraceDir, when set, receives an automatic Perfetto trace dump
+	// (job-<ID>.trace.json) whenever a job fails, is cancelled, or breaches
+	// TraceSLO — the flight recorder's "what was it doing" answer without
+	// anyone having asked for a trace in advance.
+	TraceDir string
+	// TraceSLO is the run-time latency SLO: a successful job whose run time
+	// exceeds it dumps its trace to TraceDir like a failure would. 0
+	// disables the SLO trigger.
+	TraceSLO time.Duration
+	// Trajectory, when set, is the JSONL perf-trajectory file every
+	// successful job appends its record (shape, wall time, drift report) to.
+	Trajectory string
+	// DriftCal is the default model calibration for jobs that do not set
+	// Config.DriftCal themselves ("" keeps core's default, edison).
+	DriftCal string
+	// Logger receives structured job-lifecycle records, each stamped with
+	// the job correlation ID; it is also threaded into every run's
+	// Config.Log so pipeline records carry the same ID. Nil logs nothing.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -185,6 +211,18 @@ type Manager struct {
 	// pool never share a live buffer.
 	pool *core.TuplePool
 
+	// Jobs-layer latency histograms (queue wait, run time, end-to-end) and
+	// the per-step histograms merged out of each finished job's collector —
+	// the /metrics p50/p99 substrate. Histograms are internally atomic;
+	// stepHists' map shape is guarded by hmu.
+	queueHist, runHist, totalHist *obsv.Histogram
+	hmu       sync.Mutex
+	stepHists map[string]*obsv.Histogram
+	// lastDrift is the most recent completed job's model reconciliation
+	// (guarded by mu); tracesDumped counts automatic flight-recorder dumps.
+	lastDrift    *model.DriftReport
+	tracesDumped uint64
+
 	queue chan *Job
 	wg    sync.WaitGroup
 	// stopCtx cancels every running job on Stop (the hard counterpart to
@@ -198,12 +236,16 @@ type Manager struct {
 func NewManager(opts Options) *Manager {
 	opts = opts.withDefaults()
 	m := &Manager{
-		opts:     opts,
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
-		cache:    newResultCache(opts.CacheCap),
-		pool:     core.NewTuplePool(),
-		queue:    make(chan *Job, opts.QueueCap),
+		opts:      opts,
+		jobs:      make(map[string]*Job),
+		inflight:  make(map[string]*Job),
+		cache:     newResultCache(opts.CacheCap),
+		pool:      core.NewTuplePool(),
+		queue:     make(chan *Job, opts.QueueCap),
+		queueHist: obsv.NewHistogram(),
+		runHist:   obsv.NewHistogram(),
+		totalHist: obsv.NewHistogram(),
+		stepHists: make(map[string]*obsv.Histogram),
 	}
 	m.stopCtx, m.stopAll = context.WithCancel(context.Background())
 	m.wg.Add(opts.Workers)
@@ -268,12 +310,19 @@ func (m *Manager) Submit(cfg core.Config) (job *Job, fresh bool, err error) {
 // newJobLocked allocates and registers a pending job. Caller holds m.mu.
 func (m *Manager) newJobLocked(key string, cfg core.Config) *Job {
 	m.seq++
+	// Every job gets a flight recorder: tracing is always on, bounded to
+	// the most recent RingEvents spans, so a failing or slow job can be
+	// dumped after the fact without having been asked about in advance.
+	obs := obsv.NewRing(m.opts.RingEvents)
+	if m.opts.RingEvents < 0 {
+		obs = obsv.New()
+	}
 	j := &Job{
 		ID:        fmt.Sprintf("j%d", m.seq),
 		Key:       key,
 		state:     Pending,
 		submitted: time.Now(),
-		obs:       obsv.New(),
+		obs:       obs,
 		done:      make(chan struct{}),
 	}
 	cfg.Obs = j.obs
@@ -308,9 +357,21 @@ func (m *Manager) runJob(j *Job) {
 	cfg := j.Config
 	// Thread the shared buffer pool through this run only (not the stored
 	// Config): recycling is an executor concern, invisible to the job's
-	// identity and cache key.
+	// identity and cache key. The logger, drift calibration and the job
+	// correlation ID on the context are executor concerns the same way.
 	cfg.Pool = m.pool
+	if cfg.Log == nil {
+		cfg.Log = m.opts.Logger
+	}
+	if cfg.DriftCal == "" {
+		cfg.DriftCal = m.opts.DriftCal
+	}
 	m.mu.Unlock()
+	ctx = obsv.WithJobID(ctx, j.ID)
+	if lg := m.opts.Logger; lg != nil {
+		lg.InfoContext(ctx, "job started",
+			"queue_wait", j.started.Sub(j.submitted), "key", j.Key)
+	}
 
 	// Spill scratch is an executor concern too (SpillDir is excluded from
 	// the cache key): give a spilling job a private directory under the
@@ -337,7 +398,6 @@ func (m *Manager) runJob(j *Job) {
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j.finished = time.Now()
 	delete(m.inflight, j.Key)
 	switch {
@@ -354,8 +414,18 @@ func (m *Manager) runJob(j *Job) {
 		j.state = Done
 		j.result = res
 		m.cache.put(j.Key, res)
+		if res.Drift != nil {
+			m.lastDrift = res.Drift
+		}
 	}
+	state := j.state
+	queued := j.started.Sub(j.submitted)
+	ran := j.finished.Sub(j.started)
+	total := j.finished.Sub(j.submitted)
 	close(j.done)
+	m.mu.Unlock()
+
+	m.observeTerminal(j, cfg, state, res, err, queued, ran, total)
 }
 
 // Cancel requests cancellation of a job: a pending job is finalized
@@ -471,7 +541,10 @@ type Stats struct {
 	// the cross-job pool versus freshly allocated.
 	BufPoolHits   uint64 `json:"buf_pool_hits"`
 	BufPoolMisses uint64 `json:"buf_pool_misses"`
-	Draining      bool   `json:"draining"`
+	// TracesDumped counts automatic flight-recorder dumps (failure,
+	// cancellation or SLO breach).
+	TracesDumped uint64 `json:"traces_dumped"`
+	Draining     bool   `json:"draining"`
 }
 
 // StatsSnapshot returns current queue, job-state and cache figures.
@@ -487,6 +560,7 @@ func (m *Manager) StatsSnapshot() Stats {
 		CacheHits:     m.hits,
 		BufPoolHits:   m.pool.Hits(),
 		BufPoolMisses: m.pool.Misses(),
+		TracesDumped:  m.tracesDumped,
 		Draining:      m.draining,
 	}
 	for _, j := range m.jobs {
@@ -552,21 +626,22 @@ func IsTransient(err error) bool {
 // (fmt.Errorf("...: %w", jobs.ErrTransient)).
 var ErrTransient = errors.New("jobs: transient failure")
 
-// SweepSpillDir removes orphaned spill scratch under dir: the per-job
-// "job-*" directories this package creates and the "metaprep-spill-*" run
-// directories the pipeline creates beneath them. Orphans can only exist if
-// a previous daemon process died mid-job (every live code path removes its
-// own scratch), so the daemon calls this once at startup before accepting
-// work. A missing dir is not an error. Files and directories with other
-// names are left untouched — the spill root may be a shared scratch
-// filesystem.
-func SweepSpillDir(dir string) (removed int, err error) {
+// SweepSpillDir removes orphaned spill scratch under dir, returning the
+// paths it removed: the per-job "job-*" directories this package creates
+// and the "metaprep-spill-*" run directories the pipeline creates beneath
+// them. Orphans can only exist if a previous daemon process died mid-job
+// (every live code path removes its own scratch), so the daemon calls this
+// once at startup before accepting work — and logs each returned path,
+// since deleting scratch silently is how shared filesystems get haunted. A
+// missing dir is not an error. Files and directories with other names are
+// left untouched — the spill root may be a shared scratch filesystem.
+func SweepSpillDir(dir string) (removed []string, err error) {
 	ents, readErr := os.ReadDir(dir)
 	if readErr != nil {
 		if os.IsNotExist(readErr) {
-			return 0, nil
+			return nil, nil
 		}
-		return 0, readErr
+		return nil, readErr
 	}
 	for _, e := range ents {
 		name := e.Name()
@@ -574,13 +649,14 @@ func SweepSpillDir(dir string) (removed int, err error) {
 			(!strings.HasPrefix(name, "job-") && !strings.HasPrefix(name, "metaprep-spill-")) {
 			continue
 		}
-		if rmErr := os.RemoveAll(filepath.Join(dir, name)); rmErr != nil {
+		path := filepath.Join(dir, name)
+		if rmErr := os.RemoveAll(path); rmErr != nil {
 			if err == nil {
 				err = rmErr
 			}
 			continue
 		}
-		removed++
+		removed = append(removed, path)
 	}
 	return removed, err
 }

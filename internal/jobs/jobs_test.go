@@ -746,8 +746,15 @@ func TestSweepSpillDir(t *testing.T) {
 	if err != nil {
 		t.Fatalf("SweepSpillDir: %v", err)
 	}
-	if removed != 3 {
-		t.Fatalf("removed %d orphans, want 3", removed)
+	if len(removed) != 3 {
+		t.Fatalf("removed %v, want 3 orphans", removed)
+	}
+	// The returned paths are the full paths removed — what the daemon logs,
+	// so scratch deletion is never silent.
+	for _, p := range removed {
+		if filepath.Dir(p) != root {
+			t.Errorf("removed path %q not under %q", p, root)
+		}
 	}
 	ents, err := os.ReadDir(root)
 	if err != nil {
@@ -763,7 +770,7 @@ func TestSweepSpillDir(t *testing.T) {
 
 	// Sweeping a directory that does not exist is a no-op, not an error:
 	// the daemon may start before its spill root is first used.
-	if n, err := SweepSpillDir(filepath.Join(root, "missing")); n != 0 || err != nil {
-		t.Fatalf("SweepSpillDir(missing) = %d, %v", n, err)
+	if paths, err := SweepSpillDir(filepath.Join(root, "missing")); len(paths) != 0 || err != nil {
+		t.Fatalf("SweepSpillDir(missing) = %v, %v", paths, err)
 	}
 }

@@ -65,22 +65,71 @@ type Event struct {
 // Spans are appended under a mutex (span ends are orders of magnitude
 // rarer than the per-tuple work they measure); counters are lock-free
 // atomics after a mutex-guarded first registration.
+//
+// A collector created with NewRing is a flight recorder: span events live
+// in a fixed-capacity ring, the oldest overwritten once it fills, so an
+// always-on collector holds a bounded window of recent activity no matter
+// how long the run. Metadata events (process/thread names — a handful per
+// rank) are kept outside the ring so a wrapped trace still names every
+// track.
 type Collector struct {
 	epoch time.Time
 
 	mu     sync.Mutex
-	events []Event
+	events []Event // meta + spans (unbounded mode); meta only (ring mode)
+
+	// Ring mode (ringCap > 0): span events circulate through ring; start
+	// is the oldest live slot and dropped counts overwritten events. Slots
+	// are overwritten in place — a full ring allocates nothing per span.
+	ringCap int
+	ring    []Event
+	start   int
+	dropped uint64
 
 	cmu      sync.Mutex
 	counters map[counterKey]*Counter
+	hists    map[counterKey]*Histogram
 }
 
-// New returns an enabled collector whose span clock starts now.
+// New returns an enabled collector whose span clock starts now and whose
+// event log grows without bound (the offline-trace default).
 func New() *Collector {
 	return &Collector{
 		epoch:    time.Now(),
 		counters: make(map[counterKey]*Counter),
+		hists:    make(map[counterKey]*Histogram),
 	}
+}
+
+// DefaultRingEvents is the flight-recorder capacity NewRing(0) uses: deep
+// enough to hold the full span set of a multi-pass daemon job at default
+// trace granularity, ~1 MB of bounded memory.
+const DefaultRingEvents = 8192
+
+// NewRing returns a flight-recorder collector: counters and histograms
+// behave exactly as with New, but only the most recent `capacity` span
+// events are retained (capacity ≤ 0 selects DefaultRingEvents). The ring
+// is what lets the daemon run every job with tracing always on — memory
+// stays bounded, and a trace of the last-N spans can be dumped on demand
+// or on failure.
+func NewRing(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultRingEvents
+	}
+	c := New()
+	c.ringCap = capacity
+	return c
+}
+
+// Dropped returns how many span events the ring has overwritten (0 for nil
+// or unbounded collectors).
+func (c *Collector) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // Enabled reports whether the collector records anything (false for nil).
@@ -142,11 +191,26 @@ func (c *Collector) RecordSpan(pid, tid int, cat, name string, start time.Time, 
 	if dur < 0 {
 		dur = 0
 	}
-	c.mu.Lock()
-	c.events = append(c.events, Event{
+	ev := Event{
 		Name: name, Cat: cat, Phase: phaseComplete,
 		Pid: pid, Tid: tid, Ts: ts, Dur: dur, Args: args,
-	})
+	}
+	c.mu.Lock()
+	if c.ringCap > 0 {
+		if len(c.ring) < c.ringCap {
+			c.ring = append(c.ring, ev)
+		} else {
+			// Full: overwrite the oldest slot in place.
+			c.ring[c.start] = ev
+			c.start++
+			if c.start == c.ringCap {
+				c.start = 0
+			}
+			c.dropped++
+		}
+	} else {
+		c.events = append(c.events, ev)
+	}
 	c.mu.Unlock()
 }
 
@@ -174,11 +238,17 @@ func (c *Collector) meta(pid, tid int, kind, name string) {
 }
 
 // Events returns a copy of the recorded events (nil for a nil collector).
+// In ring mode the copy holds the metadata events followed by the retained
+// span window, oldest first.
 func (c *Collector) Events() []Event {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]Event(nil), c.events...)
+	out := make([]Event, 0, len(c.events)+len(c.ring))
+	out = append(out, c.events...)
+	out = append(out, c.ring[c.start:]...)
+	out = append(out, c.ring[:c.start]...)
+	return out
 }

@@ -61,6 +61,12 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 		DisplayTimeUnit: "ms",
 		OtherData:       map[string]any{"tool": "metaprep"},
 	}
+	if c != nil && c.ringCap > 0 {
+		// Flight-recorder provenance: a consumer can tell a bounded
+		// last-N-spans window from a complete trace.
+		out.OtherData["ring_capacity"] = c.ringCap
+		out.OtherData["dropped_events"] = c.Dropped()
+	}
 	for _, e := range events {
 		te := traceEvent{
 			Name: e.Name,

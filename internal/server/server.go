@@ -9,11 +9,13 @@
 //	GET    /jobs              list jobs
 //	GET    /jobs/{id}         job status + live progress counters
 //	GET    /jobs/{id}/result  completed job's pipeline result
+//	GET    /jobs/{id}/trace   flight-recorder dump (Perfetto trace JSON)
 //	POST   /jobs/{id}/cancel  request cancellation
 //	GET    /jobs/{id}/events  Server-Sent Events progress stream
 //	GET    /healthz           liveness (always 200 while serving)
 //	GET    /readyz            readiness (503 once draining)
-//	GET    /metrics           manager gauges + per-job obsv counters
+//	GET    /metrics           gauges, latency histograms, drift ratios,
+//	                          per-job obsv counters (Prometheus text format)
 //	GET    /debug/pprof/      the standard pprof handlers
 //
 // Admission control surfaces as HTTP status codes: an invalid configuration
@@ -22,14 +24,15 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -39,6 +42,7 @@ import (
 	"metaprep/internal/index"
 	"metaprep/internal/jobs"
 	"metaprep/internal/mpirt"
+	"metaprep/internal/obsv"
 )
 
 // Options configures a Server.
@@ -47,6 +51,14 @@ type Options struct {
 	ProgressInterval time.Duration
 	// RetryAfter is the Retry-After hint returned with 429 (default 1 s).
 	RetryAfter time.Duration
+	// OrphansSwept is how many orphaned spill directories the daemon's
+	// startup sweep removed; /metrics exports it as
+	// metaprepd_orphans_swept_total.
+	OrphansSwept int
+	// Logger receives request-level records (submissions, trace fetches),
+	// stamped with the job correlation ID where one exists. Nil logs
+	// nothing.
+	Logger *slog.Logger
 }
 
 // Server is the HTTP front end over a jobs.Manager.
@@ -85,6 +97,7 @@ func New(mgr *jobs.Manager, opts Options) *Server {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -268,6 +281,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, _ := s.mgr.Status(job.ID)
+	if lg := s.opts.Logger; lg != nil {
+		// The correlation ID is born here: every later record for this job —
+		// HTTP, jobs layer, pipeline ranks — carries the same "job" attr.
+		lg.InfoContext(obsv.WithJobID(r.Context(), job.ID), "job submitted",
+			"index", req.Index, "tasks", cfg.Tasks, "threads", cfg.Threads,
+			"deduped", !fresh, "cache_hit", st.CacheHit)
+	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{
 		ID: job.ID, State: st.State, Deduped: !fresh, CacheHit: st.CacheHit,
 	})
@@ -300,6 +320,30 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace serves a job's flight-recorder window as Chrome trace-event
+// JSON (open it in Perfetto or chrome://tracing). Valid in any job state: a
+// running job yields its window so far. The trace renders into a buffer
+// first so an encoding failure still becomes a clean 500, not a torn body.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var buf bytes.Buffer
+	err := s.mgr.WriteTrace(id, &buf)
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if lg := s.opts.Logger; lg != nil {
+		lg.InfoContext(obsv.WithJobID(r.Context(), id), "trace fetched", "bytes", buf.Len())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="job-`+id+`.trace.json"`)
+	w.Write(buf.Bytes())
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.mgr.Cancel(id); err != nil {
@@ -316,47 +360,6 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	http.Error(w, "draining", http.StatusServiceUnavailable)
-}
-
-// handleMetrics renders the manager gauges and every job's obsv counter
-// snapshot in the Prometheus text exposition format, so the daemon plugs
-// into standard scraping unchanged.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	st := s.mgr.StatsSnapshot()
-	fmt.Fprintf(w, "# TYPE metaprepd_queue_depth gauge\nmetaprepd_queue_depth %d\n", st.QueueDepth)
-	fmt.Fprintf(w, "# TYPE metaprepd_queue_capacity gauge\nmetaprepd_queue_capacity %d\n", st.QueueCapacity)
-	fmt.Fprintf(w, "# TYPE metaprepd_workers gauge\nmetaprepd_workers %d\n", st.Workers)
-	fmt.Fprintf(w, "# TYPE metaprepd_cache_entries gauge\nmetaprepd_cache_entries %d\n", st.CacheEntries)
-	fmt.Fprintf(w, "# TYPE metaprepd_cache_hits_total counter\nmetaprepd_cache_hits_total %d\n", st.CacheHits)
-	ready := 0
-	if s.ready.Load() {
-		ready = 1
-	}
-	fmt.Fprintf(w, "# TYPE metaprepd_ready gauge\nmetaprepd_ready %d\n", ready)
-	fmt.Fprintf(w, "# TYPE metaprepd_jobs gauge\n")
-	states := make([]string, 0, len(st.Jobs))
-	for state := range st.Jobs {
-		states = append(states, string(state))
-	}
-	sort.Strings(states)
-	for _, state := range states {
-		fmt.Fprintf(w, "metaprepd_jobs{state=%q} %d\n", state, st.Jobs[jobs.State(state)])
-	}
-	// Per-job pipeline counters: the obsv snapshot, one sample per
-	// (job, counter, rank). Counter names become label values, not metric
-	// names, so arbitrary "/"-separated obsv names need no escaping.
-	fmt.Fprintf(w, "# TYPE metaprepd_job_counter gauge\n")
-	for _, js := range s.mgr.List() {
-		full, err := s.mgr.Status(js.ID)
-		if err != nil {
-			continue
-		}
-		for _, cv := range full.Counters {
-			fmt.Fprintf(w, "metaprepd_job_counter{job=%q,name=%q,rank=\"%d\"} %d\n",
-				js.ID, cv.Name, cv.Rank, cv.Value)
-		}
-	}
 }
 
 // handleEvents streams job progress as Server-Sent Events: a "progress"

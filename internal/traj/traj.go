@@ -1,0 +1,122 @@
+// Package traj maintains the performance trajectory: an append-only JSONL
+// file with one record per pipeline run, carrying the run's shape, its
+// wall time and the model-drift report. The daemon appends on every job
+// completion (-trajectory), `metaprep run -trajectory` appends locally,
+// and `metaprep drift` renders the file as a predicted-vs-measured table —
+// regressions become visible across runs, commits and machines instead of
+// only within one process lifetime.
+//
+// JSONL (one JSON object per line) is the format on purpose: appends are a
+// single O_APPEND write (atomic at this size on POSIX), partial files stay
+// loadable line by line, and the file diffs and greps cleanly.
+package traj
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"metaprep/internal/core"
+	"metaprep/internal/model"
+)
+
+// Record is one trajectory entry — one pipeline run.
+type Record struct {
+	// Time is when the run finished.
+	Time time.Time `json:"time"`
+	// Job is the daemon job ID ("" for direct CLI runs).
+	Job string `json:"job,omitempty"`
+	// Dataset labels the input (the CLI uses the index path's base name).
+	Dataset string `json:"dataset,omitempty"`
+	// Tasks/Threads/Passes are the run's P, T and S.
+	Tasks   int `json:"tasks"`
+	Threads int `json:"threads"`
+	Passes  int `json:"passes"`
+	// Reads, Tuples and Components summarize the workload and its outcome.
+	Reads      uint32 `json:"reads"`
+	Tuples     uint64 `json:"tuples"`
+	Components int    `json:"components"`
+	// WallNanos is the measured end-to-end wall time.
+	WallNanos int64 `json:"wall_nanos"`
+	// StepNanos is the per-step critical path (StepTimes order, 8 entries).
+	StepNanos []int64 `json:"step_nanos,omitempty"`
+	// Drift is the run's model reconciliation (nil when disabled).
+	Drift *model.DriftReport `json:"drift,omitempty"`
+}
+
+// FromResult builds a trajectory record for one finished run. The caller
+// stamps Time, Job and Dataset.
+func FromResult(cfg core.Config, res *core.Result) Record {
+	r := Record{
+		Tasks:      cfg.Tasks,
+		Threads:    cfg.Threads,
+		Passes:     cfg.Passes,
+		Reads:      res.Reads,
+		Tuples:     res.Tuples,
+		Components: res.Components,
+		WallNanos:  res.Wall.Nanoseconds(),
+		Drift:      res.Drift,
+	}
+	res.Steps.Each(func(name string, d time.Duration) {
+		r.StepNanos = append(r.StepNanos, d.Nanoseconds())
+	})
+	return r
+}
+
+// Wall returns the record's wall time as a duration.
+func (r Record) Wall() time.Duration { return time.Duration(r.WallNanos) }
+
+// Append writes one record to the end of the trajectory file, creating it
+// if needed. Each record is exactly one line.
+func Append(path string, r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("traj: encode record: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("traj: open %s: %w", path, err)
+	}
+	_, werr := f.Write(append(b, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("traj: append to %s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("traj: close %s: %w", path, cerr)
+	}
+	return nil
+}
+
+// Load reads every record of a trajectory file, in file order. Blank lines
+// are skipped; a malformed line fails with its line number so a corrupted
+// file is diagnosable.
+func Load(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traj: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(b, &r); err != nil {
+			return nil, fmt.Errorf("traj: %s:%d: %w", path, line, err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traj: read %s: %w", path, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package traj
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"metaprep/internal/model"
+)
+
+func sample(job string, wall time.Duration) Record {
+	w := model.PaperWorkload("HG")
+	c := model.Cluster{P: 2, T: 2, S: 1}
+	drift := model.Reconcile(model.Edison(), w, c,
+		model.Measured{Steps: model.Predict(model.Edison(), w, c)})
+	return Record{
+		Time: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Job:  job, Dataset: "hg",
+		Tasks: 2, Threads: 2, Passes: 1,
+		Reads: 1000, Tuples: 50000, Components: 42,
+		WallNanos: wall.Nanoseconds(),
+		StepNanos: []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		Drift:     &drift,
+	}
+}
+
+// TestAppendLoadRoundTrip appends several records and loads them back.
+func TestAppendLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trajectory.jsonl")
+	for i, job := range []string{"j1", "j2", "j3"} {
+		if err := Append(path, sample(job, time.Duration(i+1)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[1].Job != "j2" || recs[1].Wall() != 2*time.Second {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	if recs[0].Drift == nil || len(recs[0].Drift.Steps) != 8 {
+		t.Fatalf("drift lost: %+v", recs[0].Drift)
+	}
+	if len(recs[2].StepNanos) != 8 {
+		t.Fatalf("steps lost: %v", recs[2].StepNanos)
+	}
+	// One line per record — the JSONL contract.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(b), "\n"); n != 3 {
+		t.Fatalf("%d lines for 3 records", n)
+	}
+}
+
+// TestLoadSkipsBlanksRejectsGarbage checks tolerant-but-strict loading:
+// blank lines pass, malformed JSON fails with the line number.
+func TestLoadSkipsBlanksRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := Append(path, sample("a", time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("\n")
+	f.Close()
+	if err := Append(path, sample("b", time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Job != "b" {
+		t.Fatalf("records = %+v", recs)
+	}
+
+	f, _ = os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString("{not json\n")
+	f.Close()
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), ":4:") {
+		t.Fatalf("garbage line not rejected with line number: %v", err)
+	}
+}
+
+// TestLoadMissingFile returns an error rather than an empty trajectory.
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

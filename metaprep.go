@@ -237,7 +237,19 @@ type (
 	Calibration = model.Calibration
 	// PredictedSteps is the model's per-step prediction.
 	PredictedSteps = model.Steps
+	// DriftReport compares a run's measured step times and byte volumes
+	// against the model's prediction (Result.Drift carries one per run).
+	DriftReport = model.DriftReport
+	// MeasuredRun is the measured side of a drift reconciliation.
+	MeasuredRun = model.Measured
 )
+
+// Reconcile compares a measured run against the model's prediction. The
+// pipeline does this automatically after every run (Config.DriftCal); this
+// export serves offline what-if comparisons.
+func Reconcile(cal Calibration, w Workload, c ClusterSpec, m MeasuredRun) DriftReport {
+	return model.Reconcile(cal, w, c, m)
+}
 
 // Predict evaluates the §3.7 cost model.
 func Predict(cal Calibration, w Workload, c ClusterSpec) PredictedSteps {
