@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"metaprep"
+	"metaprep/internal/stats"
+)
+
+// cmdArtifact inspects and combines .mpa partition/k-mer-set artifacts:
+//
+//	metaprep artifact info [-verify] FILE
+//	metaprep artifact union|intersect|diff -out FILE artifact...
+func cmdArtifact(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("artifact: need a verb: info, union, intersect or diff")
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "info":
+		return cmdArtifactInfo(rest)
+	case "union", "intersect", "diff":
+		return cmdArtifactSetOp(verb, rest)
+	default:
+		return fmt.Errorf("artifact: unknown verb %q (want info, union, intersect or diff)", verb)
+	}
+}
+
+func cmdArtifactInfo(args []string) error {
+	fs := flag.NewFlagSet("artifact info", flag.ExitOnError)
+	verify := fs.Bool("verify", false, "CRC-check every section, including the full k-mer stream")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("artifact info: need exactly one artifact file")
+	}
+	d, err := metaprep.OpenArtifactInfo(fs.Arg(0), *verify)
+	if err != nil {
+		return err
+	}
+	m := d.Meta
+	fmt.Printf("%s: %s artifact, %.1fMB\n", d.Path, m.Kind, float64(d.Size)/float64(1<<20))
+	fmt.Printf("k=%d m=%d wide=%v compress=%v filter=[%d,%d] reads=%d tuples=%d edges=%d\n",
+		m.K, m.M, m.Wide, m.Compress, m.FilterMin, m.FilterMax, m.Reads, m.Tuples, m.Edges)
+	if m.IndexDigest != "" {
+		fmt.Printf("index: %s\n", m.IndexDigest)
+	}
+	if m.Op != "" {
+		fmt.Printf("derived: %s of %v\n", m.Op, m.Lineage)
+	}
+	t := stats.NewTable("Section", "Bytes", "Items", "CRC")
+	for _, s := range d.Sections {
+		t.AddRow(s.Name, s.Bytes, s.Items, fmt.Sprintf("%08x", s.CRC))
+	}
+	fmt.Print(t.String())
+	if *verify {
+		fmt.Println("verify: all section CRCs ok")
+	}
+	return nil
+}
+
+func cmdArtifactSetOp(verb string, args []string) error {
+	fs := flag.NewFlagSet("artifact "+verb, flag.ExitOnError)
+	out := fs.String("out", "", "output k-mer-set artifact path (required)")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() == 0 {
+		return fmt.Errorf("artifact %s: need -out and at least one input artifact", verb)
+	}
+	var (
+		st  metaprep.ArtifactSetOpStats
+		err error
+	)
+	switch verb {
+	case "union":
+		st, err = metaprep.ArtifactUnion(*out, fs.Args())
+	case "intersect":
+		st, err = metaprep.ArtifactIntersect(*out, fs.Args())
+	case "diff":
+		st, err = metaprep.ArtifactDiff(*out, fs.Args())
+	}
+	if err != nil {
+		return err
+	}
+	for i, in := range st.Inputs {
+		fmt.Printf("in  %s: %d distinct k-mers\n", in, st.Distinct[i])
+	}
+	fmt.Printf("out %s: %d distinct k-mers (%s)\n", st.Output, st.Emitted, st.Op)
+	return nil
+}

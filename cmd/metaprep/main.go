@@ -67,6 +67,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "artifact":
+		err = cmdArtifact(os.Args[2:])
 	case "checktrace":
 		err = cmdCheckTrace(os.Args[2:])
 	case "drift":
@@ -92,11 +94,14 @@ func usage() {
                       [-sparse-delta] [-star-bcast] [-overlap-output]
                       [-outdir DIR] [-edison-net] [-merge-output]
                       [-exchange-chunk N] [-prefetch N] [-no-prefetch]
-                      [-spill-budget BYTES] [-spill-dir DIR] [-spill-compress]
+                      [-spill-budget BYTES|auto] [-spill-dir DIR] [-spill-compress]
+                      [-artifact-out FILE] [-artifact-in FILE] [-delta]
                       [-trace FILE] [-metrics FILE] [-counters FILE|-]
                       [-drift-cal edison|ganga|off] [-trajectory FILE]
                       [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
   metaprep stats      -index FILE
+  metaprep artifact   info [-verify] FILE
+  metaprep artifact   union|intersect|diff -out FILE artifact...
   metaprep checktrace -trace FILE [-metrics FILE] [-tol 0.01]
   metaprep drift      [-trajectory results/trajectory.jsonl] [-last N] [-warn 2.0]
   metaprep normalize  [-k 20] [-target 20] [-paired] -out FILE fastq...
@@ -149,9 +154,12 @@ func cmdRun(args []string) error {
 	prefetch := fs.Int("prefetch", 0, "per-thread chunk read-ahead depth (0 = default of 1)")
 	noPrefetch := fs.Bool("no-prefetch", false, "disable overlapped chunk I/O (ablation)")
 	exchangeChunk := fs.Int("exchange-chunk", 0, "stream the tuple exchange in chunks of this many tuples, overlapping it with KmerGen (0 = bulk exchange after generation)")
-	spillBudget := fs.String("spill-budget", "", "per-rank tuple memory budget, e.g. 256M or 2G; when the exchange would exceed it LocalSort spills sorted runs to disk and merges them as a stream (empty = all in RAM)")
+	spillBudget := fs.String("spill-budget", "", "per-rank tuple memory budget, e.g. 256M or 2G, or 'auto' to probe the cgroup/host memory limit; when the exchange would exceed it LocalSort spills sorted runs to disk and merges them as a stream (empty = all in RAM)")
 	spillDir := fs.String("spill-dir", "", "directory for spill run files (empty = the OS temp dir)")
 	spillCompress := fs.Bool("spill-compress", false, "varint/delta-compress spill runs (64-bit keys only): less disk bandwidth for more CPU")
+	artifactOut := fs.String("artifact-out", "", "persist the partitioning (sorted k-mer runs, labels, histogram, provenance) as a .mpa artifact here")
+	artifactIn := fs.String("artifact-in", "", "reload the partitioning from a .mpa artifact instead of recomputing (must match this index and filter)")
+	delta := fs.Bool("delta", false, "treat -index as a delta read set and merge it incrementally into the -artifact-in base")
 	driftCal := fs.String("drift-cal", "", "model calibration for the drift report: edison (default), ganga, or off")
 	trajectory := fs.String("trajectory", "", "append this run's perf record (shape, wall, drift) to a JSONL trajectory (see 'metaprep drift')")
 	labelsPath := fs.String("labels", "", "also save the component label array here")
@@ -190,7 +198,16 @@ func cmdRun(args []string) error {
 	cfg.PrefetchChunks = *prefetch
 	cfg.NoPrefetch = *noPrefetch
 	cfg.ExchangeChunkTuples = *exchangeChunk
-	if *spillBudget != "" {
+	switch {
+	case *spillBudget == "auto":
+		b := metaprep.AutoSpillBudget(*tasks)
+		if b == 0 {
+			fmt.Fprintln(os.Stderr, "metaprep: -spill-budget auto: no memory limit discoverable, staying in RAM")
+		} else {
+			fmt.Printf("spill budget: %dMB/task (auto)\n", b>>20)
+		}
+		cfg.SpillBudgetBytes = b
+	case *spillBudget != "":
 		b, err := parseBytes(*spillBudget)
 		if err != nil {
 			return fmt.Errorf("run: -spill-budget: %w", err)
@@ -199,6 +216,9 @@ func cmdRun(args []string) error {
 	}
 	cfg.SpillDir = *spillDir
 	cfg.SpillCompress = *spillCompress
+	cfg.ArtifactOut = *artifactOut
+	cfg.ArtifactIn = *artifactIn
+	cfg.ArtifactDelta = *delta
 	cfg.DriftCal = *driftCal
 	if *edisonNet {
 		cfg.Network = metaprep.EdisonNetwork()
@@ -267,6 +287,11 @@ func cmdRun(args []string) error {
 			if err := writeCounters(*countersPath, obs); err != nil {
 				return err
 			}
+		}
+	}
+	if *artifactOut != "" {
+		if fi, err := os.Stat(*artifactOut); err == nil {
+			fmt.Printf("artifact: %s (%.1fMB)\n", *artifactOut, float64(fi.Size())/float64(1<<20))
 		}
 	}
 	if *labelsPath != "" {

@@ -14,6 +14,14 @@
 // POST /jobs/{id}/cancel. /healthz, /readyz, /metrics and /debug/pprof
 // serve operations.
 //
+// With -artifact-dir the daemon keeps a persistent partition artifact
+// store: completed jobs park their .mpa artifact keyed by index digest and
+// frequency filter, later submissions with the same key are served by
+// artifact reload instead of recomputation, `"delta_of": "jN"` submissions
+// merge a delta read set into job N's stored artifact incrementally, GET
+// /artifacts lists the store and GET /jobs/{id}/artifact streams a job's
+// artifact bytes.
+//
 // Every job runs with a bounded flight recorder; -trace-dir and -trace-slo
 // dump a failing or slow job's trace automatically, and -trajectory
 // appends each completed job's perf record (with its model-drift report)
@@ -37,6 +45,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,6 +62,34 @@ func main() {
 	}
 }
 
+// parseBytesFlag reads a byte count with an optional K/M/G/T suffix (powers
+// of 1024, case-insensitive, trailing "B"/"iB" allowed). Empty means 0
+// (take the Options default).
+func parseBytesFlag(name, s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	t := strings.ToUpper(strings.TrimSpace(s))
+	t = strings.TrimSuffix(t, "IB")
+	t = strings.TrimSuffix(t, "B")
+	shift := 0
+	switch {
+	case strings.HasSuffix(t, "K"):
+		shift, t = 10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		shift, t = 20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"):
+		shift, t = 30, t[:len(t)-1]
+	case strings.HasSuffix(t, "T"):
+		shift, t = 40, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n < 0 || n > (1<<62)>>shift {
+		return 0, fmt.Errorf("-%s: %q is not a byte size", name, s)
+	}
+	return n << shift, nil
+}
+
 // run is the daemon body, split from main for testing: args are the command
 // line, and sigc (created and signal.Notify-ed when nil) delivers the
 // shutdown signals.
@@ -61,6 +99,9 @@ func run(args []string, sigc chan os.Signal) error {
 	workers := fs.Int("workers", 1, "concurrent pipeline runs")
 	queue := fs.Int("queue", 16, "submission queue capacity (admission control bound)")
 	cacheCap := fs.Int("cache", 64, "result cache capacity in entries (-1 disables)")
+	cacheBytes := fs.String("cache-bytes", "", "result cache byte budget, e.g. 256M (empty = default 256M)")
+	artifactDir := fs.String("artifact-dir", "", "persistent partition artifact store: completed jobs park their .mpa artifact here keyed by index+filter, later jobs with the same key reload it instead of recomputing, and delta_of submissions chain on stored bases (empty disables the store)")
+	artifactBudget := fs.String("artifact-budget", "", "artifact store byte budget, LRU-evicted, e.g. 8G (empty = default 4G)")
 	retries := fs.Int("retries", 2, "retries for transient job failures")
 	progress := fs.Duration("progress", 200*time.Millisecond, "SSE progress snapshot interval")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs on shutdown")
@@ -78,6 +119,14 @@ func run(args []string, sigc chan os.Signal) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	lg, err := obsv.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		return err
+	}
+	cacheBudget, err := parseBytesFlag("cache-bytes", *cacheBytes)
+	if err != nil {
+		return err
+	}
+	artBudget, err := parseBytesFlag("artifact-budget", *artifactBudget)
 	if err != nil {
 		return err
 	}
@@ -104,17 +153,20 @@ func run(args []string, sigc chan os.Signal) error {
 		return err
 	}
 	mgr := jobs.NewManager(jobs.Options{
-		Workers:    *workers,
-		QueueCap:   *queue,
-		CacheCap:   *cacheCap,
-		Retries:    *retries,
-		SpillDir:   *spillDir,
-		RingEvents: *ringEvents,
-		TraceDir:   *traceDir,
-		TraceSLO:   *traceSLO,
-		Trajectory: *trajectory,
-		DriftCal:   *driftCal,
-		Logger:     lg,
+		Workers:             *workers,
+		QueueCap:            *queue,
+		CacheCap:            *cacheCap,
+		CacheBytes:          cacheBudget,
+		ArtifactDir:         *artifactDir,
+		ArtifactBudgetBytes: artBudget,
+		Retries:             *retries,
+		SpillDir:            *spillDir,
+		RingEvents:          *ringEvents,
+		TraceDir:            *traceDir,
+		TraceSLO:            *traceSLO,
+		Trajectory:          *trajectory,
+		DriftCal:            *driftCal,
+		Logger:              lg,
 	})
 	srv := server.New(mgr, server.Options{
 		ProgressInterval: *progress,

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"metaprep"
+	"metaprep/internal/stats"
+)
+
+// artifactRow is one BENCH_artifact.json measurement: a run variant against
+// the full compute-and-emit reference on the same dataset.
+type artifactRow struct {
+	Variant string  `json:"variant"`
+	WallMS  float64 `json:"wall_ms"`
+	TotalMS float64 `json:"total_ms"`
+	// ArtifactBytes is the size of the artifact the variant wrote (0 for
+	// reload, which only reads one).
+	ArtifactBytes int64 `json:"artifact_bytes"`
+	// SpeedupVsFull is fullWall/variantWall (1 for the reference row).
+	SpeedupVsFull float64 `json:"speedup_vs_full"`
+	// LabelsMatch records the parity check against the full run: bit-identical
+	// for reload, label-isomorphic for incremental.
+	LabelsMatch bool `json:"labels_match"`
+}
+
+// splitFastq splits an interleaved paired-end FASTQ at a paired-record
+// (8-line) boundary: the first frac of pairs to base, the rest to delta.
+func splitFastq(src, base, delta string, frac float64) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	lines := bytes.Count(data, []byte{'\n'})
+	if lines%8 != 0 {
+		return fmt.Errorf("%s: %d lines is not a whole number of read pairs", src, lines)
+	}
+	pairs := lines / 8
+	basePairs := int(float64(pairs) * frac)
+	if basePairs < 1 {
+		basePairs = 1
+	}
+	if basePairs >= pairs {
+		basePairs = pairs - 1
+	}
+	off := 0
+	for i := 0; i < basePairs*8; i++ {
+		off += bytes.IndexByte(data[off:], '\n') + 1
+	}
+	if err := os.WriteFile(base, data[:off], 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(delta, data[off:], 0o644)
+}
+
+// canonLabelSeq renames labels to first-occurrence order so two
+// partitionings can be compared up to label naming.
+func canonLabelSeq(labels []uint32) []uint32 {
+	names := make(map[uint32]uint32, 64)
+	out := make([]uint32, len(labels))
+	for i, l := range labels {
+		c, ok := names[l]
+		if !ok {
+			c = uint32(len(names))
+			names[l] = c
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func labelsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// expArtifact measures the persistent-artifact surface: a full run that
+// tees its partitioning into a .mpa artifact, a reload run satisfied
+// entirely from that artifact (asserted ≥5× faster and bit-identical), and
+// an incremental run that merges a 10% delta into a stored 90% base
+// (asserted label-isomorphic to the full run). The dataset is split at
+// paired-record boundaries so base ∪ delta is exactly the full read set.
+func expArtifact(e *env) error {
+	ds, err := e.dataset("HG")
+	if err != nil {
+		return err
+	}
+	dir := e.runDir("artifact")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	// 90/10 split of every input file.
+	var baseFiles, deltaFiles []string
+	for i, f := range ds.Files {
+		b := filepath.Join(dir, fmt.Sprintf("base_%02d.fastq", i))
+		d := filepath.Join(dir, fmt.Sprintf("delta_%02d.fastq", i))
+		if err := splitFastq(f, b, d, 0.9); err != nil {
+			return err
+		}
+		baseFiles, deltaFiles = append(baseFiles, b), append(deltaFiles, d)
+	}
+
+	opts := metaprep.DefaultIndexOptions()
+	opts.K = 27
+	opts.Paired = true
+	opts.ChunkSize = 1 << 20
+	// The full index lists base files before delta files so its read-ID
+	// order matches the incremental run's (base IDs, then delta IDs).
+	fullIdx, err := metaprep.BuildIndex(append(append([]string{}, baseFiles...), deltaFiles...), opts)
+	if err != nil {
+		return err
+	}
+	baseIdx, err := metaprep.BuildIndex(baseFiles, opts)
+	if err != nil {
+		return err
+	}
+	deltaIdx, err := metaprep.BuildIndex(deltaFiles, opts)
+	if err != nil {
+		return err
+	}
+
+	run := func(idx *metaprep.Index, in, out string, delta bool) (*metaprep.Result, error) {
+		cfg := metaprep.DefaultConfig(idx)
+		cfg.Tasks = 2
+		cfg.Threads = 2
+		cfg.ArtifactIn = in
+		cfg.ArtifactOut = out
+		cfg.ArtifactDelta = delta
+		return metaprep.Partition(cfg)
+	}
+	artBytes := func(path string) int64 {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return 0
+		}
+		return fi.Size()
+	}
+
+	fullArt := filepath.Join(dir, "full.mpa")
+	full, err := run(fullIdx, "", fullArt, false)
+	if err != nil {
+		return fmt.Errorf("full: %w", err)
+	}
+	reload, err := run(fullIdx, fullArt, "", false)
+	if err != nil {
+		return fmt.Errorf("reload: %w", err)
+	}
+	baseArt := filepath.Join(dir, "base.mpa")
+	if _, err := run(baseIdx, "", baseArt, false); err != nil {
+		return fmt.Errorf("base: %w", err)
+	}
+	mergedArt := filepath.Join(dir, "merged.mpa")
+	inc, err := run(deltaIdx, baseArt, mergedArt, true)
+	if err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+
+	speedup := float64(full.Wall) / float64(reload.Wall)
+	rows := []artifactRow{
+		{Variant: "full+emit", WallMS: ms(full), TotalMS: tot(full),
+			ArtifactBytes: artBytes(fullArt), SpeedupVsFull: 1, LabelsMatch: true},
+		{Variant: "reload", WallMS: ms(reload), TotalMS: tot(reload),
+			SpeedupVsFull: speedup,
+			LabelsMatch:   labelsEqual(full.Labels, reload.Labels)},
+		{Variant: "incremental", WallMS: ms(inc), TotalMS: tot(inc),
+			ArtifactBytes: artBytes(mergedArt),
+			SpeedupVsFull: float64(full.Wall) / float64(inc.Wall),
+			LabelsMatch:   labelsEqual(canonLabelSeq(full.Labels), canonLabelSeq(inc.Labels))},
+	}
+	t := stats.NewTable("Variant", "Wall", "Artifact(MB)", "Speedup", "LabelsMatch")
+	for _, r := range rows {
+		t.AddRow(r.Variant, fmt.Sprintf("%.1fms", r.WallMS),
+			float64(r.ArtifactBytes)/float64(1<<20),
+			fmt.Sprintf("%.1fx", r.SpeedupVsFull), r.LabelsMatch)
+	}
+	if err := e.emitBench("artifact", t, rows); err != nil {
+		return err
+	}
+	if !rows[1].LabelsMatch {
+		return fmt.Errorf("reload labels diverge from the computed run")
+	}
+	if !rows[2].LabelsMatch {
+		return fmt.Errorf("incremental labels are not isomorphic to the full run's")
+	}
+	if inc.Reads != full.Reads || inc.Tuples != full.Tuples {
+		return fmt.Errorf("incremental totals diverge: reads %d/%d tuples %d/%d",
+			inc.Reads, full.Reads, inc.Tuples, full.Tuples)
+	}
+	if speedup < 5 {
+		return fmt.Errorf("artifact reload only %.1fx faster than the full run (want >=5x)", speedup)
+	}
+
+	// The model's planning view at paper scale: what an artifact costs to
+	// write and reload on MM, and the delta fraction below which incremental
+	// beats recompute — which collapses to 0 on the paper's wide cluster
+	// because the base/delta merge is a single stream.
+	cal := metaprep.EdisonCalibration()
+	w := metaprep.PaperWorkload("MM")
+	mt := stats.NewTable("Model (MM)", "Artifact(GB)", "Write", "Reload", "Crossover f")
+	for _, c := range []metaprep.ClusterSpec{{P: 1, T: 1, S: 1}, {P: 4, T: 24, S: 1}} {
+		c.SparseDeltaMerge, c.OverlapOutput = true, true
+		mt.AddRow(fmt.Sprintf("P=%d T=%d", c.P, c.T),
+			float64(metaprep.PredictArtifactBytes(w))/float64(1<<30),
+			metaprep.PredictArtifactWrite(cal, w),
+			metaprep.PredictArtifactReload(cal, w),
+			fmt.Sprintf("%.3f", metaprep.IncrementalCrossover(cal, w, c)))
+	}
+	if err := e.emit("artifact-model", mt); err != nil {
+		return err
+	}
+	fmt.Println("(extension: reload is byte-driven so its advantage grows with dataset size; the crossover row is why wide clusters should recompute instead of merging)")
+	return nil
+}
+
+func ms(r *metaprep.Result) float64  { return float64(r.Wall.Microseconds()) / 1e3 }
+func tot(r *metaprep.Result) float64 { return float64(r.Steps.Total().Microseconds()) / 1e3 }

@@ -1,0 +1,176 @@
+// Package artifact defines the versioned on-disk partition artifact: the
+// durable product of a pipeline run (ROADMAP item 2). An artifact holds the
+// globally sorted canonical k-mer tuple stream (encoded with the
+// internal/extsort block codec, so spill runs can be copied in verbatim and
+// merge readers can stream it back without a decode detour), the component
+// label map, the k-mer frequency histogram, and provenance tying the file to
+// the exact index and configuration that produced it.
+//
+// File layout (format v1):
+//
+//	offset 0     magic "MPAF" + version byte + 3 reserved bytes
+//	             section: kmers   (extsort blocks, globally sorted)
+//	             section: labels  (raw little-endian uint32 per read)
+//	             section: hist    (raw little-endian uint64 per bin)
+//	             section: meta    (JSON Meta)
+//	trailer      TOC: one 32-byte entry per section
+//	             uint32 TOC byte length, uint32 CRC32(TOC)
+//	             tail magic "MPAFend1"
+//
+// Every section carries a CRC32 (IEEE) in its TOC entry; readers verify on
+// access. The TOC lives at the end so writers emit sections in one streaming
+// pass — the pipeline writes k-mer blocks while LocalCC is still consuming
+// the same buffers, with no second pass over the data.
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Format constants, pinned by TestFormatGolden. Bumping FormatVersion is a
+// breaking change: old readers must reject new files and vice versa.
+const (
+	FormatVersion = 1
+	headerLen     = 8
+	tocEntryLen   = 32
+	trailerLen    = 16 // tocLen u32 + tocCRC u32 + tail magic
+)
+
+var (
+	magic     = [8]byte{'M', 'P', 'A', 'F', FormatVersion, 0, 0, 0}
+	tailMagic = [8]byte{'M', 'P', 'A', 'F', 'e', 'n', 'd', '1'}
+)
+
+// Section ids. The ids are part of the format; new section kinds append.
+const (
+	secKmers  = 1
+	secLabels = 2
+	secHist   = 3
+	secMeta   = 4
+)
+
+// Artifact kinds.
+const (
+	// KindPartition is a full pipeline product: sorted tuple runs keyed by
+	// canonical k-mer with read-id values, plus the label map.
+	KindPartition = "partition"
+	// KindKmerset is a set-operation product: one tuple per distinct k-mer
+	// whose value is its multiplicity (clamped to uint32). No labels.
+	KindKmerset = "kmerset"
+)
+
+// ErrBadArtifact is the sentinel wrapped by every structural error: bad
+// magic, truncated file, checksum mismatch, undecodable section. Callers
+// test with errors.Is(err, ErrBadArtifact).
+var ErrBadArtifact = errors.New("bad or corrupt artifact")
+
+// ErrMismatch is the sentinel wrapped when a structurally valid artifact
+// does not match the requested use: wrong index digest, k/m, filter, or
+// kind. Distinct from ErrBadArtifact so callers can distinguish "re-run the
+// pipeline" from "the file is damaged".
+var ErrMismatch = errors.New("artifact does not match request")
+
+// FormatError reports a structural defect in an artifact file. It unwraps
+// to ErrBadArtifact.
+type FormatError struct {
+	Path    string // file being read
+	Section string // section name, or "trailer"/"header" for framing errors
+	Reason  string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("artifact %s: %s: %s", e.Path, e.Section, e.Reason)
+}
+
+func (e *FormatError) Unwrap() error { return ErrBadArtifact }
+
+func badf(path, section, format string, args ...any) error {
+	return &FormatError{Path: path, Section: section, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Meta is the provenance record stored in the meta section. It is JSON so
+// the format can grow fields without a version bump; unknown fields are
+// ignored on read.
+type Meta struct {
+	// Kind is KindPartition or KindKmerset.
+	Kind string `json:"kind"`
+	// K and M are the k-mer and minimizer lengths the tuples were built with.
+	K int `json:"k"`
+	M int `json:"m"`
+	// Wide marks 128-bit keys (k > 32); Compress marks varint/delta block
+	// payloads. Both must match the kmers section encoding.
+	Wide     bool `json:"wide"`
+	Compress bool `json:"compress"`
+	// BlockTuples is the max tuples per encoded block — the decode buffer
+	// bound readers must honor.
+	BlockTuples int `json:"block_tuples"`
+	// FilterMin/FilterMax are the frequency filter the labels were computed
+	// under (0 = unbounded max).
+	FilterMin int `json:"filter_min"`
+	FilterMax int `json:"filter_max"`
+	// Reads is the read-id space size; len(labels) == Reads for partitions.
+	Reads uint32 `json:"reads"`
+	// Tuples and Edges summarize the run that produced the artifact.
+	Tuples uint64 `json:"tuples"`
+	Edges  uint64 `json:"edges"`
+	// IndexDigest pins the exact input index (index.Digest). Empty for
+	// derived artifacts (incremental merges, set operations).
+	IndexDigest string `json:"index_digest,omitempty"`
+	// ConfigHash is the producing run's CanonicalHash. Informational only:
+	// it covers run-shape knobs (tasks, out dir) that do not affect labels,
+	// so compatibility checks use IndexDigest + k/m/filter instead.
+	ConfigHash string `json:"config_hash,omitempty"`
+	// Op names the derivation for non-pipeline artifacts: "incremental",
+	// "union", "intersect", "diff".
+	Op string `json:"op,omitempty"`
+	// Lineage lists the parents of a derived artifact (index digests when
+	// known, file names otherwise).
+	Lineage []string `json:"lineage,omitempty"`
+}
+
+// tocEntry is one 32-byte table-of-contents record.
+type tocEntry struct {
+	id    uint8
+	flags uint8
+	crc   uint32
+	off   int64
+	len   int64
+	items uint64
+}
+
+func (e tocEntry) encode(dst []byte) {
+	dst[0] = e.id
+	dst[1] = e.flags
+	dst[2], dst[3] = 0, 0
+	binary.LittleEndian.PutUint32(dst[4:], e.crc)
+	binary.LittleEndian.PutUint64(dst[8:], uint64(e.off))
+	binary.LittleEndian.PutUint64(dst[16:], uint64(e.len))
+	binary.LittleEndian.PutUint64(dst[24:], e.items)
+}
+
+func decodeTocEntry(src []byte) tocEntry {
+	return tocEntry{
+		id:    src[0],
+		flags: src[1],
+		crc:   binary.LittleEndian.Uint32(src[4:]),
+		off:   int64(binary.LittleEndian.Uint64(src[8:])),
+		len:   int64(binary.LittleEndian.Uint64(src[16:])),
+		items: binary.LittleEndian.Uint64(src[24:]),
+	}
+}
+
+func sectionName(id uint8) string {
+	switch id {
+	case secKmers:
+		return "kmers"
+	case secLabels:
+		return "labels"
+	case secHist:
+		return "hist"
+	case secMeta:
+		return "meta"
+	}
+	return fmt.Sprintf("section#%d", id)
+}

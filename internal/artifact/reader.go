@@ -1,0 +1,346 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"metaprep/internal/extsort"
+)
+
+// maxTocSections bounds the trailer we are willing to parse; format v1
+// defines four sections, so anything much larger is corruption.
+const maxTocSections = 64
+
+// Reader opens an artifact for random-access section reads and streaming
+// k-mer scans. The trailer, TOC, and meta section are parsed and verified
+// by Open; other sections verify their CRC when read. Safe for concurrent
+// section reads (all I/O is offset-based), but each Stream is single-user.
+type Reader struct {
+	f    *os.File
+	path string
+	size int64
+	meta Meta
+	secs map[uint8]tocEntry
+
+	bytesRead int64
+}
+
+// Open parses and validates the artifact's framing: magic, trailer, TOC
+// (CRC-checked), and the meta section. Structural problems return errors
+// wrapping ErrBadArtifact.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{f: f, path: path}
+	if err := r.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reader) load() error {
+	st, err := r.f.Stat()
+	if err != nil {
+		return err
+	}
+	r.size = st.Size()
+	if r.size < headerLen+trailerLen {
+		return badf(r.path, "header", "file too short (%d bytes)", r.size)
+	}
+	var hdr [headerLen]byte
+	if _, err := r.f.ReadAt(hdr[:], 0); err != nil {
+		return badf(r.path, "header", "read: %v", err)
+	}
+	if hdr != magic {
+		if string(hdr[:4]) == string(magic[:4]) {
+			return badf(r.path, "header", "format version %d, want %d", hdr[4], FormatVersion)
+		}
+		return badf(r.path, "header", "bad magic %q", hdr[:])
+	}
+	var tr [trailerLen]byte
+	if _, err := r.f.ReadAt(tr[:], r.size-trailerLen); err != nil {
+		return badf(r.path, "trailer", "read: %v", err)
+	}
+	if [8]byte(tr[8:]) != tailMagic {
+		return badf(r.path, "trailer", "bad tail magic (truncated file?)")
+	}
+	tocLen := int64(binary.LittleEndian.Uint32(tr[0:]))
+	tocCRC := binary.LittleEndian.Uint32(tr[4:])
+	if tocLen%tocEntryLen != 0 || tocLen > maxTocSections*tocEntryLen ||
+		headerLen+tocLen+trailerLen > r.size {
+		return badf(r.path, "trailer", "implausible TOC length %d", tocLen)
+	}
+	toc := make([]byte, tocLen)
+	tocOff := r.size - trailerLen - tocLen
+	if _, err := r.f.ReadAt(toc, tocOff); err != nil {
+		return badf(r.path, "trailer", "read TOC: %v", err)
+	}
+	if crc32.ChecksumIEEE(toc) != tocCRC {
+		return badf(r.path, "trailer", "TOC checksum mismatch")
+	}
+	r.secs = make(map[uint8]tocEntry, tocLen/tocEntryLen)
+	for i := int64(0); i < tocLen; i += tocEntryLen {
+		e := decodeTocEntry(toc[i:])
+		if e.off < headerLen || e.len < 0 || e.off+e.len > tocOff {
+			return badf(r.path, sectionName(e.id), "section out of bounds [%d,+%d)", e.off, e.len)
+		}
+		if _, dup := r.secs[e.id]; dup {
+			return badf(r.path, sectionName(e.id), "duplicate section")
+		}
+		r.secs[e.id] = e
+	}
+	r.bytesRead += headerLen + trailerLen + tocLen
+
+	mj, err := r.section(secMeta)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(mj, &r.meta); err != nil {
+		return badf(r.path, "meta", "bad JSON: %v", err)
+	}
+	if r.meta.BlockTuples < 1 {
+		return badf(r.path, "meta", "block_tuples %d < 1", r.meta.BlockTuples)
+	}
+	ke, ok := r.secs[secKmers]
+	if !ok {
+		return badf(r.path, "kmers", "section missing")
+	}
+	wantFl := uint8(0)
+	if r.meta.Wide {
+		wantFl |= 1
+	}
+	if r.meta.Compress {
+		wantFl |= 2
+	}
+	if ke.flags != wantFl {
+		return badf(r.path, "kmers", "section flags %#x disagree with meta %#x", ke.flags, wantFl)
+	}
+	return nil
+}
+
+// section reads and CRC-verifies one section in full.
+func (r *Reader) section(id uint8) ([]byte, error) {
+	e, ok := r.secs[id]
+	if !ok {
+		return nil, badf(r.path, sectionName(id), "section missing")
+	}
+	buf := make([]byte, e.len)
+	if _, err := r.f.ReadAt(buf, e.off); err != nil {
+		return nil, badf(r.path, sectionName(id), "read: %v", err)
+	}
+	if crc32.ChecksumIEEE(buf) != e.crc {
+		return nil, badf(r.path, sectionName(id), "checksum mismatch")
+	}
+	r.bytesRead += e.len
+	return buf, nil
+}
+
+// Meta returns the provenance record parsed by Open.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// Path returns the path the artifact was opened from.
+func (r *Reader) Path() string { return r.path }
+
+// Size returns the artifact file size in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// BytesRead returns the bytes read through this Reader so far — the
+// artifact/bytes_read counter's source.
+func (r *Reader) BytesRead() int64 { return r.bytesRead }
+
+// HasLabels reports whether the artifact carries a label section
+// (partitions do, kmersets do not).
+func (r *Reader) HasLabels() bool { _, ok := r.secs[secLabels]; return ok }
+
+// Labels reads and verifies the component label map.
+func (r *Reader) Labels() ([]uint32, error) {
+	e := r.secs[secLabels]
+	buf, err := r.section(secLabels)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(buf)) != e.items*4 {
+		return nil, badf(r.path, "labels", "length %d != 4×%d items", len(buf), e.items)
+	}
+	labels := make([]uint32, e.items)
+	for i := range labels {
+		labels[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return labels, nil
+}
+
+// Hist reads and verifies the k-mer frequency histogram.
+func (r *Reader) Hist() ([]uint64, error) {
+	e := r.secs[secHist]
+	buf, err := r.section(secHist)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(buf)) != e.items*8 {
+		return nil, badf(r.path, "hist", "length %d != 8×%d items", len(buf), e.items)
+	}
+	hist := make([]uint64, e.items)
+	for i := range hist {
+		hist[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return hist, nil
+}
+
+// KmerSeg locates the k-mer section as an extsort segment, for callers that
+// merge artifacts with extsort.NewSegReader/NewMerger (the incremental
+// path). The returned file is the Reader's own handle: keep the Reader open
+// while segment readers are live, and note that reads through it are not
+// counted by BytesRead.
+func (r *Reader) KmerSeg() (*os.File, extsort.SegInfo) {
+	e := r.secs[secKmers]
+	return r.f, extsort.SegInfo{Off: e.off, Len: e.len, Tuples: e.items}
+}
+
+// Tuples returns the k-mer section's tuple count.
+func (r *Reader) Tuples() uint64 { return r.secs[secKmers].items }
+
+// Kmers opens a streaming scan of the sorted tuple section. Close the
+// stream before closing the Reader.
+func (r *Reader) Kmers() (*Stream, error) {
+	f, seg := r.KmerSeg()
+	sr := extsort.NewSegReader(f, seg, r.meta.Wide, r.meta.Compress, r.meta.BlockTuples)
+	return &Stream{r: r, sr: sr}, nil
+}
+
+// VerifyKmers re-reads the k-mer section and checks its CRC. The streaming
+// readers skip this (the block framing already catches most damage); batch
+// tools like `metaprep artifact info -verify` call it explicitly.
+func (r *Reader) VerifyKmers() error {
+	e := r.secs[secKmers]
+	sum := uint32(0)
+	buf := make([]byte, 256<<10)
+	sr := io.NewSectionReader(r.f, e.off, e.len)
+	for {
+		n, err := sr.Read(buf)
+		if n > 0 {
+			sum = crc32.Update(sum, crc32.IEEETable, buf[:n])
+			r.bytesRead += int64(n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return badf(r.path, "kmers", "read: %v", err)
+		}
+	}
+	if sum != e.crc {
+		return badf(r.path, "kmers", "checksum mismatch")
+	}
+	return nil
+}
+
+// Close releases the file. Streams and KmerSeg readers must be closed
+// first.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Stream iterates the sorted k-mer tuple section in key order. It is
+// backed by an extsort.SegReader (decode goroutine with read-ahead);
+// Close releases it and is required even after an error or early exit.
+type Stream struct {
+	r   *Reader
+	sr  *extsort.SegReader
+	blk *extsort.Block
+	pos int
+	n   uint64
+}
+
+// Next returns the next tuple, ok=false at end of section. Decode errors
+// wrap ErrBadArtifact.
+func (s *Stream) Next() (hi, lo uint64, val uint32, ok bool, err error) {
+	for s.blk == nil || s.pos >= s.blk.Len() {
+		if s.blk != nil {
+			s.sr.Release(s.blk)
+			s.blk = nil
+		}
+		b, err := s.sr.Next()
+		if err != nil {
+			return 0, 0, 0, false, badf(s.r.path, "kmers", "decode: %v", err)
+		}
+		if b == nil {
+			if s.n != s.r.Tuples() {
+				return 0, 0, 0, false, badf(s.r.path, "kmers",
+					"section holds %d tuples, TOC says %d", s.n, s.r.Tuples())
+			}
+			return 0, 0, 0, false, nil
+		}
+		s.blk, s.pos = b, 0
+	}
+	lo = s.blk.Lo[s.pos]
+	if s.blk.Hi != nil {
+		hi = s.blk.Hi[s.pos]
+	}
+	val = s.blk.Val[s.pos]
+	s.pos++
+	s.n++
+	s.r.bytesRead += 12 // logical tuple bytes; encoded size tracked coarsely
+	return hi, lo, val, true, nil
+}
+
+// Close stops the underlying segment reader. Idempotent.
+func (s *Stream) Close() {
+	if s.blk != nil {
+		s.sr.Release(s.blk)
+		s.blk = nil
+	}
+	s.sr.Close()
+}
+
+// Info summarizes an artifact for display: provenance plus per-section
+// sizes. With verify set it also CRC-checks every section including the
+// k-mer blocks.
+type SectionInfo struct {
+	Name  string
+	Bytes int64
+	Items uint64
+	CRC   uint32
+}
+
+type InfoData struct {
+	Path     string
+	Size     int64
+	Meta     Meta
+	Sections []SectionInfo
+}
+
+func Info(path string, verify bool) (InfoData, error) {
+	r, err := Open(path)
+	if err != nil {
+		return InfoData{}, err
+	}
+	defer r.Close()
+	d := InfoData{Path: path, Size: r.size, Meta: r.meta}
+	for _, id := range []uint8{secKmers, secLabels, secHist, secMeta} {
+		e, ok := r.secs[id]
+		if !ok {
+			continue
+		}
+		d.Sections = append(d.Sections, SectionInfo{
+			Name: sectionName(id), Bytes: e.len, Items: e.items, CRC: e.crc,
+		})
+	}
+	if verify {
+		if err := r.VerifyKmers(); err != nil {
+			return d, err
+		}
+		if r.HasLabels() {
+			if _, err := r.Labels(); err != nil {
+				return d, err
+			}
+		}
+		if _, err := r.Hist(); err != nil {
+			return d, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,266 @@
+package artifact
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+)
+
+// Set operations view an artifact as a multiset of canonical k-mers: a
+// partition artifact contributes each distinct key with multiplicity = run
+// length, a kmerset artifact contributes each key with multiplicity = its
+// stored count. The output is always a kmerset (one tuple per distinct
+// key, value = clamped count), so operations compose: union of unions,
+// diff of an intersect, and so on — the unikmer-style algebra ROADMAP
+// item 2 calls for, built on the same sorted-stream merge the incremental
+// path uses.
+
+// SetOpStats summarizes one set operation.
+type SetOpStats struct {
+	Op       string
+	Output   string
+	Inputs   []string
+	Distinct []uint64 // distinct k-mers per input
+	Emitted  uint64   // distinct k-mers written
+}
+
+// Union writes the multiset union (counts sum) of the inputs to out.
+func Union(out string, inputs []string) (SetOpStats, error) {
+	return setOp("union", out, inputs)
+}
+
+// Intersect writes the k-mers present in every input (counts take the
+// minimum) to out.
+func Intersect(out string, inputs []string) (SetOpStats, error) {
+	return setOp("intersect", out, inputs)
+}
+
+// Diff writes the k-mers present in the first input but in none of the
+// others (keeping the first input's counts) to out.
+func Diff(out string, inputs []string) (SetOpStats, error) {
+	return setOp("diff", out, inputs)
+}
+
+// distinctStream adapts a tuple Stream to a distinct-key stream with
+// multiplicities, collapsing the runs of a partition artifact.
+type distinctStream struct {
+	s         *Stream
+	partition bool
+
+	hi, lo uint64 // current key, valid when ok
+	count  uint64
+	ok     bool
+
+	pendHi, pendLo uint64 // lookahead tuple not yet folded into a key
+	pendVal        uint32
+	pend           bool
+}
+
+func newDistinctStream(r *Reader) (*distinctStream, error) {
+	s, err := r.Kmers()
+	if err != nil {
+		return nil, err
+	}
+	return &distinctStream{s: s, partition: r.meta.Kind != KindKmerset}, nil
+}
+
+// next advances to the next distinct key; returns false at end.
+func (d *distinctStream) next() (bool, error) {
+	if !d.pend {
+		var ok bool
+		var err error
+		d.pendHi, d.pendLo, d.pendVal, ok, err = d.s.Next()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			d.ok = false
+			return false, nil
+		}
+		d.pend = true
+	}
+	d.hi, d.lo, d.ok = d.pendHi, d.pendLo, true
+	if !d.partition {
+		d.count = uint64(d.pendVal)
+		d.pend = false
+		return true, nil
+	}
+	// Partition: count the run of tuples sharing this key.
+	d.count = 0
+	for {
+		d.count++
+		hi, lo, val, ok, err := d.s.Next()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			d.pend = false
+			return true, nil
+		}
+		if hi != d.hi || lo != d.lo {
+			d.pendHi, d.pendLo, d.pendVal, d.pend = hi, lo, val, true
+			return true, nil
+		}
+	}
+}
+
+func (d *distinctStream) close() { d.s.Close() }
+
+// keyLess orders 128-bit keys.
+func keyLess(aHi, aLo, bHi, bLo uint64) bool {
+	return aHi < bHi || (aHi == bHi && aLo < bLo)
+}
+
+func setOp(op, out string, inputs []string) (SetOpStats, error) {
+	if len(inputs) < 2 {
+		return SetOpStats{}, fmt.Errorf("artifact %s: need at least 2 inputs, got %d", op, len(inputs))
+	}
+	readers := make([]*Reader, 0, len(inputs))
+	defer func() {
+		for _, r := range readers {
+			r.Close()
+		}
+	}()
+	var ref Meta
+	lineage := make([]string, len(inputs))
+	for i, p := range inputs {
+		r, err := Open(p)
+		if err != nil {
+			return SetOpStats{}, err
+		}
+		readers = append(readers, r)
+		m := r.Meta()
+		if i == 0 {
+			ref = m
+		} else if m.K != ref.K || m.M != ref.M || m.Wide != ref.Wide {
+			return SetOpStats{}, fmt.Errorf(
+				"artifact %s: %s has k=%d m=%d wide=%v, %s has k=%d m=%d wide=%v: %w",
+				op, inputs[0], ref.K, ref.M, ref.Wide, p, m.K, m.M, m.Wide, ErrMismatch)
+		}
+		if m.IndexDigest != "" {
+			lineage[i] = m.IndexDigest
+		} else {
+			lineage[i] = filepath.Base(p)
+		}
+	}
+
+	streams := make([]*distinctStream, len(readers))
+	defer func() {
+		for _, d := range streams {
+			if d != nil {
+				d.close()
+			}
+		}
+	}()
+	st := SetOpStats{Op: op, Output: out, Inputs: inputs, Distinct: make([]uint64, len(inputs))}
+	for i, r := range readers {
+		d, err := newDistinctStream(r)
+		if err != nil {
+			return st, err
+		}
+		streams[i] = d
+		if _, err := d.next(); err != nil {
+			return st, err
+		}
+		if d.ok {
+			st.Distinct[i] = 1 // counted as streams advance below
+		}
+	}
+
+	w, err := Create(out)
+	if err != nil {
+		return st, err
+	}
+	defer w.Abort()
+	if err := w.BeginKmers(ref.Wide, !ref.Wide, DefaultBlockTuples); err != nil {
+		return st, err
+	}
+	hist := make([]uint64, 256)
+
+	for {
+		// Find the minimum key among live streams.
+		first := true
+		var mHi, mLo uint64
+		for _, d := range streams {
+			if !d.ok {
+				continue
+			}
+			if first || keyLess(d.hi, d.lo, mHi, mLo) {
+				mHi, mLo, first = d.hi, d.lo, false
+			}
+		}
+		if first {
+			break // all streams exhausted
+		}
+		var sum, minC uint64
+		present := 0
+		inFirst, inRest := false, false
+		for i, d := range streams {
+			if !d.ok || d.hi != mHi || d.lo != mLo {
+				continue
+			}
+			present++
+			sum += d.count
+			if present == 1 || d.count < minC {
+				minC = d.count
+			}
+			if i == 0 {
+				inFirst = true
+			} else {
+				inRest = true
+			}
+		}
+		emit, count := false, uint64(0)
+		switch op {
+		case "union":
+			emit, count = true, sum
+		case "intersect":
+			emit, count = present == len(streams), minC
+		case "diff":
+			if inFirst && !inRest {
+				emit, count = true, streams[0].count
+			}
+		}
+		if emit {
+			if count > math.MaxUint32 {
+				count = math.MaxUint32
+			}
+			if err := w.Tuple(mHi, mLo, uint32(count)); err != nil {
+				return st, err
+			}
+			st.Emitted++
+			bin := count
+			if bin >= uint64(len(hist)) {
+				bin = uint64(len(hist)) - 1
+			}
+			hist[bin]++
+		}
+		// Advance every stream sitting on the minimum key.
+		for i, d := range streams {
+			if d.ok && d.hi == mHi && d.lo == mLo {
+				adv, err := d.next()
+				if err != nil {
+					return st, err
+				}
+				if adv {
+					st.Distinct[i]++
+				}
+			}
+		}
+	}
+	if err := w.EndKmers(); err != nil {
+		return st, err
+	}
+	if err := w.Hist(hist); err != nil {
+		return st, err
+	}
+	meta := Meta{
+		Kind: KindKmerset, K: ref.K, M: ref.M,
+		FilterMin: ref.FilterMin, FilterMax: ref.FilterMax,
+		Op: op, Lineage: lineage,
+	}
+	if err := w.Finish(meta); err != nil {
+		return st, err
+	}
+	return st, nil
+}

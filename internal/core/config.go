@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -169,6 +170,30 @@ type Config struct {
 	// Only the 64-bit key path (k ≤ 31) supports it; combining it with
 	// 128-bit keys is a validation error.
 	SpillCompress bool
+	// ArtifactOut, when set, writes a persistent partition artifact
+	// (internal/artifact format v1) to this path: the globally sorted
+	// canonical k-mer tuple stream, the component label map, the frequency
+	// histogram and the run's provenance. The tuple stream is teed off the
+	// existing LocalSort/merge data paths — no second enumeration pass. The
+	// path's directory must exist and be writable. Where the artifact lands
+	// never affects results, so the path is excluded from CanonicalHash
+	// (whether one is written at all is too: the labels are identical).
+	ArtifactOut string
+	// ArtifactIn, when set, loads a previously written partition artifact
+	// instead of running KmerGen/exchange/sort/CC. Without ArtifactDelta the
+	// artifact must match this run's index (digest, read count) and filter —
+	// the stored labels are the result, and output writing proceeds as
+	// usual. A mismatch fails with an error wrapping artifact.ErrMismatch.
+	ArtifactIn string
+	// ArtifactDelta switches ArtifactIn to incremental repartitioning:
+	// Index names only the NEW (delta) FASTQ files, the artifact holds the
+	// base partition, and the run k-way-merges the delta's sorted runs
+	// against the stored runs, unioning only the new edges into the
+	// reloaded DSU. Requires ArtifactIn; incompatible with Filter.Max
+	// (an upper frequency bound can retroactively disqualify base edges,
+	// which a union-only structure cannot express). Delta read IDs follow
+	// the base's: global read r of the delta index becomes base.Reads + r.
+	ArtifactDelta bool
 	// Pool, when non-nil, supplies and reclaims the two per-task tuple
 	// buffers (kmerOut/kmerIn) so back-to-back runs — the daemon's jobs —
 	// reuse multi-GB slices instead of reallocating them. Never affects
@@ -301,6 +326,23 @@ func (c Config) Validate() error {
 		}
 		if err := checkSpillDir(c.SpillDir); err != nil {
 			return &ConfigError{Field: "SpillDir", Reason: err.Error()}
+		}
+	}
+	if c.ArtifactDelta && c.ArtifactIn == "" {
+		return &ConfigError{Field: "ArtifactDelta", Reason: "requires ArtifactIn (the base partition artifact)"}
+	}
+	if c.ArtifactDelta && c.Filter.Max > 0 {
+		return &ConfigError{Field: "ArtifactDelta",
+			Reason: fmt.Sprintf("incompatible with Filter.Max=%d: new occurrences can push a base k-mer over the bound, and edges already merged into the base labels cannot be retracted", c.Filter.Max)}
+	}
+	if c.ArtifactIn != "" && c.ArtifactOut != "" && !c.ArtifactDelta {
+		return &ConfigError{Field: "ArtifactOut",
+			Reason: "reloading an artifact (ArtifactIn without ArtifactDelta) skips tuple enumeration, so there is no stream to write; copy the input artifact instead"}
+	}
+	if c.ArtifactOut != "" {
+		dir := filepath.Dir(c.ArtifactOut)
+		if err := checkSpillDir(dir); err != nil {
+			return &ConfigError{Field: "ArtifactOut", Reason: err.Error()}
 		}
 	}
 	if _, _, err := driftCalibration(c.DriftCal); err != nil {

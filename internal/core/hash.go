@@ -16,7 +16,7 @@ import (
 // canonicalHashVersion is bumped whenever the set of hashed fields or their
 // normalization changes, invalidating every previously cached result rather
 // than silently aliasing old entries.
-const canonicalHashVersion = 4
+const canonicalHashVersion = 5
 
 // CanonicalHash returns a stable hex digest of the run-defining
 // configuration. The encoding is canonical:
@@ -72,6 +72,16 @@ func (c Config) CanonicalHash() string {
 	// files live can never change a result.
 	field("spill_budget_bytes", c.SpillBudgetBytes)
 	field("spill_compress", c.SpillCompress)
+	// Incremental repartitioning computes a different result (labels over
+	// base∪delta reads), so the mode and the base artifact's identity are
+	// run-defining. A plain reload (ArtifactIn without ArtifactDelta)
+	// produces the same labels as the direct run and hashes identically;
+	// ArtifactOut is excluded like SpillDir — where the artifact lands
+	// never changes the result.
+	field("artifact_delta", c.ArtifactDelta)
+	if c.ArtifactDelta {
+		field("artifact_in", c.ArtifactIn)
+	}
 	field("no_vector_kmergen", c.NoVectorKmerGen)
 	if c.Network == nil || (c.Network.Latency == 0 && c.Network.BandwidthBytesPerSec == 0) {
 		field("network", "none")

@@ -14,7 +14,7 @@ import (
 // and re-pin — never let old cached results alias the new scheme silently.
 func TestCanonicalHashGolden(t *testing.T) {
 	def := Config{Tasks: 1, Threads: 1, Passes: 1, CCOpt: true}
-	const wantDef = "3fab1ffda64b467b8b640986e0bbf4b7cca672d6f65dcff9d466be5bc17e16c0"
+	const wantDef = "5e4a544455aebd8e8a29419f36068fa7f19194030cdfe86d2f16d809e2d598f3"
 	if got := def.CanonicalHash(); got != wantDef {
 		t.Errorf("CanonicalHash(default) = %s, want %s", got, wantDef)
 	}
@@ -35,7 +35,7 @@ func TestCanonicalHashGolden(t *testing.T) {
 		NoVectorKmerGen:  true,
 		Network:          &mpirt.NetworkModel{Latency: time.Microsecond, BandwidthBytesPerSec: 8e9},
 	}
-	const wantFull = "f9e3c7f1aebe918ef014a49ee89df85c572696dd40183c10567b635e0bba8351"
+	const wantFull = "b294afde9bda3f044c2138f1b872805dfa321c9e95a72f9103fbf559e04f4108"
 	if got := full.CanonicalHash(); got != wantFull {
 		t.Errorf("CanonicalHash(full) = %s, want %s", got, wantFull)
 	}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// AutoSpillBudget discovers a per-rank spill budget from the memory the
+// host actually grants this process: the tightest applicable cgroup limit
+// (v2 memory.max, then v1 memory.limit_in_bytes), falling back to
+// /proc/meminfo MemAvailable when the process runs uncontained. Half of
+// the discovered limit is budgeted for tuples — the other half covers the
+// index, label arrays, chunk buffers and merge read-ahead — and divided
+// across ranks, floored at MinSpillBudgetBytes so the result always
+// validates.
+//
+// A zero return means no limit could be discovered (an unusual /proc-less
+// environment); callers should treat that as "stay in RAM".
+func AutoSpillBudget(tasks int) int64 {
+	return autoSpillBudget("/", tasks)
+}
+
+// autoSpillBudget is AutoSpillBudget against an alternate filesystem root
+// (tests point it at a fixture tree).
+func autoSpillBudget(root string, tasks int) int64 {
+	if tasks < 1 {
+		tasks = 1
+	}
+	limit := cgroupLimit(root)
+	if limit == 0 {
+		limit = memAvailable(root)
+	}
+	if limit == 0 {
+		return 0
+	}
+	per := limit / 2 / int64(tasks)
+	if per < MinSpillBudgetBytes {
+		per = MinSpillBudgetBytes
+	}
+	return per
+}
+
+// cgroupLimit returns the process's memory limit in bytes, or 0 when no
+// cgroup constrains it. Values so large they mean "unlimited" (cgroup v1
+// reports PAGE_COUNTER_MAX when unset) are treated as no limit.
+func cgroupLimit(root string) int64 {
+	// cgroup v2 unified hierarchy: "max" means unlimited.
+	if b, err := os.ReadFile(filepath.Join(root, "sys/fs/cgroup/memory.max")); err == nil {
+		s := string(bytes.TrimSpace(b))
+		if s != "max" {
+			if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+				return v
+			}
+		}
+	}
+	// cgroup v1 memory controller.
+	if b, err := os.ReadFile(filepath.Join(root, "sys/fs/cgroup/memory/memory.limit_in_bytes")); err == nil {
+		if v, err := strconv.ParseInt(string(bytes.TrimSpace(b)), 10, 64); err == nil && v > 0 {
+			// v1 reports ~2^63 rounded down to a page multiple when unset.
+			if v < int64(1)<<60 {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// memAvailable parses MemAvailable (kB) from /proc/meminfo, returning 0 if
+// the file or the field is missing.
+func memAvailable(root string) int64 {
+	b, err := os.ReadFile(filepath.Join(root, "proc/meminfo"))
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("MemAvailable:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("MemAvailable:"):])
+		if len(fields) == 0 {
+			return 0
+		}
+		v, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil || v <= 0 {
+			return 0
+		}
+		return v * 1024
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFixture(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoSpillBudget(t *testing.T) {
+	const gib = int64(1) << 30
+
+	t.Run("cgroup-v2", func(t *testing.T) {
+		root := t.TempDir()
+		writeFixture(t, root, "sys/fs/cgroup/memory.max", "2147483648\n")
+		if got := autoSpillBudget(root, 1); got != gib {
+			t.Fatalf("got %d, want %d", got, gib)
+		}
+		// Divided across ranks.
+		if got := autoSpillBudget(root, 4); got != gib/4 {
+			t.Fatalf("P=4: got %d, want %d", got, gib/4)
+		}
+	})
+
+	t.Run("cgroup-v2-unlimited-falls-through", func(t *testing.T) {
+		root := t.TempDir()
+		writeFixture(t, root, "sys/fs/cgroup/memory.max", "max\n")
+		writeFixture(t, root, "sys/fs/cgroup/memory/memory.limit_in_bytes", "1073741824\n")
+		if got := autoSpillBudget(root, 1); got != gib/2 {
+			t.Fatalf("got %d, want %d", got, gib/2)
+		}
+	})
+
+	t.Run("cgroup-v1-unlimited-falls-through", func(t *testing.T) {
+		root := t.TempDir()
+		// PAGE_COUNTER_MAX-style huge value means unset.
+		writeFixture(t, root, "sys/fs/cgroup/memory/memory.limit_in_bytes", "9223372036854771712\n")
+		writeFixture(t, root, "proc/meminfo", "MemTotal:       8388608 kB\nMemAvailable:   4194304 kB\n")
+		if got := autoSpillBudget(root, 1); got != 2*gib {
+			t.Fatalf("got %d, want %d", got, 2*gib)
+		}
+	})
+
+	t.Run("meminfo-fallback", func(t *testing.T) {
+		root := t.TempDir()
+		writeFixture(t, root, "proc/meminfo", "MemTotal:       2097152 kB\nMemAvailable:   1048576 kB\nSwapTotal: 0 kB\n")
+		if got := autoSpillBudget(root, 2); got != gib/4 {
+			t.Fatalf("got %d, want %d", got, gib/4)
+		}
+	})
+
+	t.Run("floor", func(t *testing.T) {
+		root := t.TempDir()
+		writeFixture(t, root, "sys/fs/cgroup/memory.max", "1048576\n")
+		if got := autoSpillBudget(root, 8); got != MinSpillBudgetBytes {
+			t.Fatalf("got %d, want floor %d", got, int64(MinSpillBudgetBytes))
+		}
+	})
+
+	t.Run("nothing-discoverable", func(t *testing.T) {
+		root := t.TempDir()
+		if got := autoSpillBudget(root, 1); got != 0 {
+			t.Fatalf("got %d, want 0", got)
+		}
+	})
+
+	t.Run("host", func(t *testing.T) {
+		// On any Linux host something must be discoverable, and the result
+		// must validate.
+		got := AutoSpillBudget(2)
+		if got != 0 && got < MinSpillBudgetBytes {
+			t.Fatalf("budget %d below floor", got)
+		}
+	})
+}

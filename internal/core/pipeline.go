@@ -48,6 +48,9 @@ type taskState struct {
 	// spill, non-nil only while a spill pass's exchange runs, diverts the
 	// receive path into the run builders.
 	spill *spillState
+	// emit, non-nil when ArtifactOut is set, collects this task's sorted
+	// tuple stream into artifact part files as the passes run.
+	emit *artifactEmit
 	// spillCur/spillPeak gauge the spill machinery's resident tuple bytes
 	// (builders plus decoded merge blocks); the peak is exported as the
 	// extsort/peak_tuple_bytes counter the budget-compliance test checks.
@@ -87,6 +90,9 @@ func newTaskState(ctx context.Context, pl *plan, task *mpirt.Task) *taskState {
 		}
 		if pl.spill {
 			st.obs.SetThreadName(st.rank, obsv.TidSpill, "spill writer")
+		}
+		if pl.cfg.ArtifactOut != "" || pl.cfg.ArtifactIn != "" {
+			st.obs.SetThreadName(st.rank, obsv.TidArtifact, "artifact")
 		}
 		// Per-rank-pair tuple counters (the Fig. 8 communication-imbalance
 		// quantity, keyed on the receiving task), preformatted here so the
@@ -273,6 +279,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Artifact-driven paths replace the front half of the pipeline: a
+	// reload turns a stored partition straight into a Result, and a delta
+	// run merges freshly enumerated tuples against the stored base.
+	if cfg.ArtifactIn != "" {
+		if cfg.ArtifactDelta {
+			return runIncremental(ctx, cfg, pl)
+		}
+		return runFromArtifact(ctx, cfg, pl)
+	}
 	if cfg.Log != nil {
 		cfg.Log.InfoContext(ctx, "pipeline start",
 			"tasks", cfg.Tasks, "threads", cfg.Threads, "passes", cfg.Passes,
@@ -293,6 +308,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		defer os.RemoveAll(spillDir)
+	}
+	// The artifact emit tees the sorted tuple stream into part files as the
+	// passes run; its scratch directory follows the spill-dir lifecycle
+	// (removed on success, error and cancellation alike).
+	var emit *artifactEmit
+	if cfg.ArtifactOut != "" {
+		emit, err = newArtifactEmit(cfg, pl)
+		if err != nil {
+			return nil, err
+		}
+		defer emit.cleanup()
 	}
 
 	world := mpirt.NewWorld(cfg.Tasks, cfg.Network)
@@ -315,6 +341,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	start := time.Now()
 	err = world.RunContext(ctx, func(task *mpirt.Task) error {
 		st := newTaskState(ctx, pl, task)
+		st.emit = emit
 		defer st.closeFiles()
 		files, err := openInputs(pl.idx)
 		if err != nil {
@@ -358,7 +385,29 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				}
 				sl := pl.sortLayout(s, st.rank, rl)
 				st.localSort(s, sl)
+				// The artifact part writer overlaps LocalCC: both only
+				// read the sorted kmerOut. The join below keeps the
+				// buffer from being reused (next pass) while encoding.
+				var emitDone chan error
+				if st.emit != nil {
+					emitDone = make(chan error, 1)
+					go func(s int, n uint64) {
+						t0 := time.Now()
+						err := st.emit.writeRun(s, st.rank, st.out, n)
+						if st.obs != nil {
+							st.obs.RecordSpan(st.rank, obsv.TidArtifact, "detail",
+								"artifact-part", t0, time.Since(t0),
+								map[string]any{"pass": s, "tuples": n})
+						}
+						emitDone <- err
+					}(s, rl.total)
+				}
 				st.localCC(sl)
+				if emitDone != nil {
+					if err := <-emitDone; err != nil {
+						return err
+					}
+				}
 			}
 			if err := ctx.Err(); err != nil {
 				return err
@@ -443,18 +492,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 	if cfg.OutDir != "" {
-		groups := len(outFiles[0])
-		res.SplitFiles = make([][]string, groups)
-		for rank := 0; rank < cfg.Tasks; rank++ {
-			for g := 0; g < groups; g++ {
-				res.SplitFiles[g] = append(res.SplitFiles[g], outFiles[rank][g]...)
-			}
-		}
-		res.LCFiles = res.SplitFiles[0]
-		res.OtherFiles = res.SplitFiles[groups-1]
-		if cfg.SplitComponents == 0 {
-			res.SplitFiles = nil
-		}
+		fillOutputFiles(res, outFiles, cfg)
 	}
 	for _, rep := range reports {
 		if rep.CCIters > res.CCIterations {
@@ -465,6 +503,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	for rank := range freqHists {
 		for f, c := range freqHists[rank] {
 			res.KmerFreqHist[f] += c
+		}
+	}
+	// Assemble the artifact once the result is complete: the k-mer parts
+	// are copied verbatim, labels and histogram come from the Result, and
+	// the file appears atomically (temp + rename) only on success.
+	if emit != nil {
+		if err := emit.assemble(cfg, pl, res); err != nil {
+			return nil, err
 		}
 	}
 	var nonSingletonFrac float64

@@ -350,6 +350,19 @@ func (st *taskState) localCCSpill(sp *spillState) error {
 		}
 		defer mg.Close()
 
+		// With an artifact emit active, this thread tees every tuple it
+		// streams out of the merge into its per-(pass,rank,thread) part
+		// file — the spill-mode leg of the no-second-pass emit.
+		var tee *partTee
+		if st.emit != nil {
+			tee, err = st.emit.newPartTee(sp.s, st.rank, d)
+			if err != nil {
+				errs[d] = err
+				return
+			}
+			defer tee.discard()
+		}
+
 		m0 := time.Now()
 		var retry []unionfind.Edge
 		var streamed uint64
@@ -384,6 +397,9 @@ func (st *taskState) localCCSpill(sp *spillState) error {
 			if !ok {
 				break
 			}
+			if tee != nil {
+				tee.add(hi, lo, val)
+			}
 			streamed++
 			if streamed&8191 == 0 {
 				if err := st.ctx.Err(); err != nil {
@@ -412,6 +428,12 @@ func (st *taskState) localCCSpill(sp *spillState) error {
 			}
 		}
 		endRun()
+		if tee != nil {
+			if err := tee.close(); err != nil {
+				errs[d] = err
+				return
+			}
+		}
 		retries[d] = retry
 		if st.obs != nil {
 			st.obs.RecordSpan(st.rank, obsv.TidWorker+d, "detail", "spill-merge", m0, time.Since(m0),

@@ -152,6 +152,7 @@ type Merger struct {
 
 	tree   []int // tree[1..k-1]: loser leaf of each internal node
 	winner int
+	src    int // leaf index of the last tuple returned by Next
 	k      int
 }
 
@@ -246,6 +247,7 @@ func (m *Merger) Next() (hi, lo uint64, val uint32, ok bool, err error) {
 		return 0, 0, 0, false, nil
 	}
 	w := m.winner
+	m.src = w
 	hi, lo, val = m.hi[w], m.lo[w], m.val[w]
 	if err := m.advance(w); err != nil {
 		return 0, 0, 0, false, err
@@ -260,6 +262,11 @@ func (m *Merger) Next() (hi, lo uint64, val uint32, ok bool, err error) {
 	m.winner = w
 	return hi, lo, val, true, nil
 }
+
+// Src returns the leaf (reader) index that produced the last tuple Next
+// returned. The incremental-artifact merge uses it to tell base tuples from
+// delta tuples so delta read ids can be rebased.
+func (m *Merger) Src() int { return m.src }
 
 // Close closes every reader (stopping their decode goroutines).
 func (m *Merger) Close() {

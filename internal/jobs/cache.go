@@ -9,27 +9,50 @@ import (
 // resultCache is a small LRU of completed pipeline results, keyed by the
 // content-addressed (index digest, canonical config hash) pair. Results are
 // immutable once a run completes, so entries are shared by pointer; the
-// LRU bound keeps the resident label arrays proportional to the configured
-// capacity rather than to the daemon's lifetime.
+// LRU is bounded twice over — by entry count and by resident bytes — so
+// the cached label arrays stay proportional to the configured budget
+// rather than to the daemon's lifetime or to dataset size.
 type resultCache struct {
 	cap     int
+	budget  int64 // resident-byte bound; <= 0 means unbounded
+	bytes   int64
 	order   *list.List // front = most recently used; values are *cacheEntry
 	entries map[string]*list.Element
 }
 
 type cacheEntry struct {
-	key string
-	res *core.Result
+	key   string
+	res   *core.Result
+	bytes int64
 }
 
-// newResultCache returns a cache bounded to capacity entries; capacity < 0
-// disables caching (every get misses).
-func newResultCache(capacity int) *resultCache {
+// newResultCache returns a cache bounded to capacity entries and budget
+// resident bytes; capacity < 0 disables caching (every get misses).
+func newResultCache(capacity int, budget int64) *resultCache {
 	return &resultCache{
 		cap:     capacity,
+		budget:  budget,
 		order:   list.New(),
 		entries: make(map[string]*list.Element),
 	}
+}
+
+// resultBytes estimates the resident size of a cached result: the label
+// array dominates, with the histogram and per-task reports behind it.
+func resultBytes(res *core.Result) int64 {
+	if res == nil {
+		return 0
+	}
+	b := int64(len(res.Labels)) * 4
+	b += int64(len(res.KmerFreqHist)) * 8
+	b += int64(len(res.PerTask)) * 256 // step times + memory accounting
+	for _, f := range res.LCFiles {
+		b += int64(len(f))
+	}
+	for _, f := range res.OtherFiles {
+		b += int64(len(f))
+	}
+	return b + 512 // struct overhead
 }
 
 // get returns the cached result for key (nil on miss), refreshing its
@@ -43,24 +66,35 @@ func (c *resultCache) get(key string) *core.Result {
 	return el.Value.(*cacheEntry).res
 }
 
-// put stores a result, evicting the least recently used entry beyond
-// capacity. Callers hold the manager mutex.
+// put stores a result, evicting least-recently-used entries beyond the
+// entry capacity or the byte budget (a result larger than the whole budget
+// is not retained at all). Callers hold the manager mutex.
 func (c *resultCache) put(key string, res *core.Result) {
 	if c.cap < 0 {
 		return
 	}
+	size := resultBytes(res)
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - e.bytes
+		e.res, e.bytes = res, size
 		c.order.MoveToFront(el)
-		return
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res, bytes: size})
+		c.bytes += size
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
-	for c.order.Len() > c.cap {
+	for c.order.Len() > 0 &&
+		(c.order.Len() > c.cap || (c.budget > 0 && c.bytes > c.budget)) {
 		last := c.order.Back()
+		e := last.Value.(*cacheEntry)
 		c.order.Remove(last)
-		delete(c.entries, last.Value.(*cacheEntry).key)
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
 	}
 }
 
 // len reports the number of cached results.
 func (c *resultCache) len() int { return c.order.Len() }
+
+// residentBytes reports the estimated bytes the cached results occupy.
+func (c *resultCache) residentBytes() int64 { return c.bytes }

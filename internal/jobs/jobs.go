@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"metaprep/internal/artifact"
 	"metaprep/internal/core"
 	"metaprep/internal/model"
 	"metaprep/internal/obsv"
@@ -77,6 +78,21 @@ type Options struct {
 	// CacheCap bounds the result cache in entries, evicted LRU (default 64;
 	// 0 uses the default, negative disables caching).
 	CacheCap int
+	// CacheBytes bounds the result cache's resident bytes — the label
+	// arrays dominate, so an entry bound alone would let memory scale with
+	// dataset size. Entries are evicted LRU once the estimate exceeds the
+	// budget (default 256 MiB; negative = no byte bound).
+	CacheBytes int64
+	// ArtifactDir, when set, roots the daemon's content-addressed partition
+	// artifact store: every fresh partition job writes its artifact there
+	// (keyed by index digest + filter), later jobs over the same key reload
+	// it instead of recomputing, and the store is evicted
+	// least-recently-used to stay under ArtifactBudgetBytes. Empty disables
+	// the store.
+	ArtifactDir string
+	// ArtifactBudgetBytes bounds the artifact store's disk footprint
+	// (default 4 GiB; negative = unbounded).
+	ArtifactBudgetBytes int64
 	// Retries is how many times a job is re-run after a transient failure
 	// (default 2). Non-transient failures never retry.
 	Retries int
@@ -128,6 +144,12 @@ func (o Options) withDefaults() Options {
 	if o.CacheCap == 0 {
 		o.CacheCap = 64
 	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.ArtifactBudgetBytes == 0 {
+		o.ArtifactBudgetBytes = 4 << 30
+	}
 	if o.Retries < 0 {
 		o.Retries = 0
 	} else if o.Retries == 0 {
@@ -159,6 +181,8 @@ type Job struct {
 
 	state           State
 	cacheHit        bool
+	artifactReload  bool   // satisfied by reloading a stored artifact
+	artifact        string // path of this job's artifact in the store
 	submitted       time.Time
 	started         time.Time
 	finished        time.Time
@@ -175,7 +199,13 @@ type Status struct {
 	Key   string `json:"key"`
 	State State  `json:"state"`
 	// CacheHit marks a job satisfied from the result cache without running.
-	CacheHit  bool      `json:"cache_hit"`
+	CacheHit bool `json:"cache_hit"`
+	// ArtifactReload marks a job satisfied by reloading a stored partition
+	// artifact (the pipeline's compute steps were skipped).
+	ArtifactReload bool `json:"artifact_reload,omitempty"`
+	// Artifact is set when the job's partition artifact is retrievable from
+	// the daemon's store.
+	Artifact  bool      `json:"artifact,omitempty"`
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitzero"`
 	Finished  time.Time `json:"finished,omitzero"`
@@ -200,6 +230,10 @@ type Manager struct {
 	order    []string        // IDs in submission order, for listing
 	inflight map[string]*Job // live (pending/running) job per cache key
 	cache    *resultCache
+	// artifacts is the on-disk partition artifact store (nil when
+	// Options.ArtifactDir is empty). It has its own lock — never taken
+	// under mu.
+	artifacts *artifactStore
 	seq      int
 	draining bool
 	hits     uint64 // cache + coalesced-submit hits
@@ -239,13 +273,23 @@ func NewManager(opts Options) *Manager {
 		opts:      opts,
 		jobs:      make(map[string]*Job),
 		inflight:  make(map[string]*Job),
-		cache:     newResultCache(opts.CacheCap),
+		cache:     newResultCache(opts.CacheCap, opts.CacheBytes),
 		pool:      core.NewTuplePool(),
 		queue:     make(chan *Job, opts.QueueCap),
 		queueHist: obsv.NewHistogram(),
 		runHist:   obsv.NewHistogram(),
 		totalHist: obsv.NewHistogram(),
 		stepHists: make(map[string]*obsv.Histogram),
+	}
+	if opts.ArtifactDir != "" {
+		st, err := newArtifactStore(opts.ArtifactDir, opts.ArtifactBudgetBytes)
+		if err != nil {
+			if lg := opts.Logger; lg != nil {
+				lg.Error("artifact store disabled", "dir", opts.ArtifactDir, "err", err)
+			}
+		} else {
+			m.artifacts = st
+		}
 	}
 	m.stopCtx, m.stopAll = context.WithCancel(context.Background())
 	m.wg.Add(opts.Workers)
@@ -385,6 +429,32 @@ func (m *Manager) runJob(j *Job) {
 		}
 	}
 
+	// Artifact-store participation is an executor concern the same way
+	// (absent from the cache key). A job with its own artifact settings is
+	// left alone; otherwise a stored artifact for the same (index, filter)
+	// key is reloaded instead of recomputed, and a miss emits one for later
+	// jobs. Incremental (delta) jobs stage their merged artifact so it can
+	// be fetched via the API and chained as a further delta's base.
+	var artifactIn string // store path injected as the reload source
+	var commitName string // store name the staged artifact commits under
+	if st := m.artifacts; st != nil {
+		switch {
+		case cfg.ArtifactDelta && cfg.ArtifactOut == "":
+			commitName = "i-" + j.ID + ".mpa"
+			cfg.ArtifactOut = st.staging(j.ID)
+		case !cfg.ArtifactDelta && cfg.ArtifactIn == "" && cfg.ArtifactOut == "":
+			if p, ok := st.lookup(cfg); ok {
+				artifactIn = p
+				cfg.ArtifactIn = p
+			} else {
+				commitName = artifactKey(cfg)
+				cfg.ArtifactOut = st.staging(j.ID)
+			}
+		}
+		// No-op after a successful commit (the rename moved it away).
+		defer os.Remove(st.staging(j.ID))
+	}
+
 	var res *core.Result
 	var err error
 	for attempt := 1; ; attempt++ {
@@ -392,8 +462,34 @@ func (m *Manager) runJob(j *Job) {
 		j.attempts = attempt
 		m.mu.Unlock()
 		res, err = m.opts.Runner(ctx, cfg)
+		if err != nil && artifactIn != "" && ctx.Err() == nil &&
+			(errors.Is(err, artifact.ErrBadArtifact) || errors.Is(err, artifact.ErrMismatch)) {
+			// The stored artifact turned out corrupt or mismatched: drop it
+			// and fall back to a full recompute (emitting a replacement).
+			if lg := m.opts.Logger; lg != nil {
+				lg.WarnContext(ctx, "stored artifact unusable, recomputing",
+					"path", artifactIn, "err", err)
+			}
+			m.artifacts.drop(artifactIn)
+			cfg.ArtifactIn = ""
+			artifactIn = ""
+			commitName = artifactKey(cfg)
+			cfg.ArtifactOut = m.artifacts.staging(j.ID)
+			continue
+		}
 		if err == nil || ctx.Err() != nil || attempt > m.opts.Retries || !m.opts.Transient(err) {
 			break
+		}
+	}
+
+	// Commit the staged artifact before touching job state (the store has
+	// its own lock; never nested under m.mu).
+	var committed string
+	if err == nil && commitName != "" {
+		if p, cErr := m.artifacts.commit(cfg.ArtifactOut, commitName); cErr == nil {
+			committed = p
+		} else if lg := m.opts.Logger; lg != nil {
+			lg.WarnContext(ctx, "artifact commit failed", "err", cErr)
 		}
 	}
 
@@ -413,6 +509,12 @@ func (m *Manager) runJob(j *Job) {
 	default:
 		j.state = Done
 		j.result = res
+		if artifactIn != "" {
+			j.artifactReload = true
+			j.artifact = artifactIn
+		} else if committed != "" {
+			j.artifact = committed
+		}
 		m.cache.put(j.Key, res)
 		if res.Drift != nil {
 			m.lastDrift = res.Drift
@@ -515,6 +617,7 @@ func (m *Manager) statusOf(j *Job, counters bool) Status {
 	m.mu.Lock()
 	s := Status{
 		ID: j.ID, Key: j.Key, State: j.state, CacheHit: j.cacheHit,
+		ArtifactReload: j.artifactReload, Artifact: j.artifact != "",
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
 		Attempts: j.attempts,
 	}
@@ -537,6 +640,13 @@ type Stats struct {
 	Jobs          map[State]int `json:"jobs"`
 	CacheEntries  int           `json:"cache_entries"`
 	CacheHits     uint64        `json:"cache_hits"`
+	// CacheBytes is the estimated resident size of the cached results.
+	CacheBytes int64 `json:"cache_bytes"`
+	// Artifact-store figures (all zero when the store is disabled).
+	ArtifactEntries int    `json:"artifact_entries,omitempty"`
+	ArtifactBytes   int64  `json:"artifact_bytes,omitempty"`
+	ArtifactHits    uint64 `json:"artifact_hits,omitempty"`
+	ArtifactMisses  uint64 `json:"artifact_misses,omitempty"`
 	// BufPoolHits/BufPoolMisses count tuple-buffer acquisitions served from
 	// the cross-job pool versus freshly allocated.
 	BufPoolHits   uint64 `json:"buf_pool_hits"`
@@ -547,17 +657,30 @@ type Stats struct {
 	Draining     bool   `json:"draining"`
 }
 
-// StatsSnapshot returns current queue, job-state and cache figures.
+// StatsSnapshot returns current queue, job-state, cache and artifact-store
+// figures.
 func (m *Manager) StatsSnapshot() Stats {
+	// The store has its own lock; sample it outside m.mu.
+	var aEntries int
+	var aBytes int64
+	var aHits, aMisses uint64
+	if m.artifacts != nil {
+		aEntries, aBytes, aHits, aMisses = m.artifacts.stats()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Stats{
-		QueueDepth:    len(m.queue),
-		QueueCapacity: m.opts.QueueCap,
-		Workers:       m.opts.Workers,
-		Jobs:          map[State]int{Pending: 0, Running: 0, Done: 0, Failed: 0, Cancelled: 0},
-		CacheEntries:  m.cache.len(),
-		CacheHits:     m.hits,
+		QueueDepth:      len(m.queue),
+		QueueCapacity:   m.opts.QueueCap,
+		Workers:         m.opts.Workers,
+		Jobs:            map[State]int{Pending: 0, Running: 0, Done: 0, Failed: 0, Cancelled: 0},
+		CacheEntries:    m.cache.len(),
+		CacheHits:       m.hits,
+		CacheBytes:      m.cache.residentBytes(),
+		ArtifactEntries: aEntries,
+		ArtifactBytes:   aBytes,
+		ArtifactHits:    aHits,
+		ArtifactMisses:  aMisses,
 		BufPoolHits:   m.pool.Hits(),
 		BufPoolMisses: m.pool.Misses(),
 		TracesDumped:  m.tracesDumped,
@@ -568,6 +691,40 @@ func (m *Manager) StatsSnapshot() Stats {
 	}
 	return s
 }
+
+// ArtifactPath returns the store path of a done job's partition artifact.
+// ErrNotDone covers both a job that produced no artifact and one whose
+// artifact the store has since evicted.
+func (m *Manager) ArtifactPath(id string) (string, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return "", ErrNotFound
+	}
+	m.mu.Lock()
+	state, path := j.state, j.artifact
+	m.mu.Unlock()
+	if state != Done || path == "" {
+		return "", fmt.Errorf("%w: job has no stored artifact", ErrNotDone)
+	}
+	if _, err := os.Stat(path); err != nil {
+		return "", fmt.Errorf("%w: artifact was evicted from the store", ErrNotDone)
+	}
+	return path, nil
+}
+
+// Artifacts lists the artifact store's entries, newest first (nil when the
+// store is disabled).
+func (m *Manager) Artifacts() []ArtifactEntry {
+	if m.artifacts == nil {
+		return nil
+	}
+	return m.artifacts.list()
+}
+
+// ArtifactStoreEnabled reports whether the manager persists artifacts.
+func (m *Manager) ArtifactStoreEnabled() bool { return m.artifacts != nil }
 
 // Drain stops admission (Submit returns ErrDraining) and waits for every
 // queued and running job to finish, or for ctx to expire — the graceful

@@ -1,0 +1,93 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArtifactBytes(t *testing.T) {
+	w := PaperWorkload("MM")
+	b := ArtifactBytes(w)
+	// Narrow keys: compressed tuples + 4R labels + overhead.
+	want := int64(float64(w.Tuples)*12*SpillCompressRatio) + 4*w.Reads + 4096
+	if b != want {
+		t.Fatalf("ArtifactBytes = %d, want %d", b, want)
+	}
+	// Wide keys store raw.
+	w.TupleBytes = 20
+	if got := ArtifactBytes(w); got <= b {
+		t.Fatalf("wide artifact (%d) not larger than narrow (%d)", got, b)
+	}
+}
+
+func TestArtifactReloadBeatsFullRun(t *testing.T) {
+	cal := Edison()
+	w := PaperWorkload("MM")
+	reload := ArtifactReloadSeconds(cal, w)
+	if reload <= 0 {
+		t.Fatal("reload cost not positive")
+	}
+	// Reload is cheaper than recomputing on any cluster, and ≥5× cheaper
+	// than a single-node run (the mpbench acceptance bar).
+	wide := Predict(cal, w, Cluster{P: 4, T: 24, S: 1}).Total()
+	if reload >= wide {
+		t.Fatalf("reload %v not cheaper than 4×24 full run %v", reload, wide)
+	}
+	narrow := Predict(cal, w, Cluster{P: 1, T: 1, S: 1}).Total()
+	if reload*5 >= narrow {
+		t.Fatalf("reload %v not ≥5× faster than single-core full %v", reload, narrow)
+	}
+	if wr := ArtifactWriteSeconds(cal, w); wr <= 0 || wr >= wide {
+		t.Fatalf("write cost %v out of range (full %v)", wr, wide)
+	}
+}
+
+func TestPredictIncrementalMonotone(t *testing.T) {
+	cal := Edison()
+	w := PaperWorkload("MM")
+	c := Cluster{P: 1, T: 1, S: 1}
+	// Cost grows with the delta fraction.
+	var prev time.Duration
+	for _, f := range []float64{0.05, 0.25, 0.5, 0.9} {
+		inc := PredictIncremental(cal, scaleWorkload(w, 1-f), scaleWorkload(w, f), c)
+		if inc <= prev {
+			t.Fatalf("incremental cost not increasing at f=%.2f: %v <= %v", f, inc, prev)
+		}
+		prev = inc
+	}
+	// On a narrow machine — where the full run is as serialized as the
+	// merge — a small delta beats the full recompute.
+	small := PredictIncremental(cal, scaleWorkload(w, 0.95), scaleWorkload(w, 0.05), c)
+	full := Predict(cal, w, c).Total()
+	if small >= full {
+		t.Fatalf("5%% delta (%v) not cheaper than full run (%v)", small, full)
+	}
+}
+
+// TestIncrementalCrossover pins the model's central planning insight: the
+// crossover fraction shrinks as the cluster widens, because the full
+// pipeline parallelizes over P×T cores while the base/delta merge is a
+// single stream. On one core incremental wins for sizable deltas; on the
+// paper's 4×24 configuration it never wins at all (crossover 0) — reload
+// the artifact when nothing changed, recompute when anything did.
+func TestIncrementalCrossover(t *testing.T) {
+	cal := Edison()
+	w := PaperWorkload("MM")
+
+	narrow := IncrementalCrossover(cal, w, Cluster{P: 1, T: 1, S: 1})
+	if narrow <= 0 || narrow > 1 {
+		t.Fatalf("narrow-cluster crossover %v out of (0, 1]", narrow)
+	}
+	// Consistent with its own definition below the crossover.
+	c := Cluster{P: 1, T: 1, S: 1}
+	below := PredictIncremental(cal, scaleWorkload(w, 1-narrow/2), scaleWorkload(w, narrow/2), c)
+	full := Predict(cal, w, c).Total()
+	if below >= full {
+		t.Fatalf("below crossover (%v) not cheaper than full (%v)", below, full)
+	}
+
+	wide := IncrementalCrossover(cal, w, Cluster{P: 4, T: 24, S: 1})
+	if wide >= narrow {
+		t.Fatalf("crossover did not shrink with cluster width: narrow=%v wide=%v", narrow, wide)
+	}
+}

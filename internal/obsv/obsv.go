@@ -35,6 +35,7 @@ const (
 	TidExchange = 2   // streaming exchange: the chunk-drain (send) goroutine
 	TidExchRecv = 3   // streaming exchange: the chunk-landing (recv) goroutine
 	TidSpill    = 4   // out-of-core LocalSort: the spill sort/write worker
+	TidArtifact = 5   // persistent-artifact emit/assembly and reload
 	TidWorker   = 10  // + thread index: worker threads
 	TidPrefetch = 100 // + thread index: prefetch reader goroutines
 )

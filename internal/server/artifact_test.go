@@ -1,0 +1,140 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"metaprep/internal/jobs"
+)
+
+func mustUnmarshal(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+}
+
+// TestArtifactEndToEnd drives the artifact surface over HTTP with real
+// pipeline runs: a first job persists its artifact, an identical-key
+// submission at a different shape reloads it, the artifact bytes stream
+// from /jobs/{id}/artifact, /artifacts lists the store, and a delta_of
+// submission runs an incremental repartitioning chained on the first job.
+func TestArtifactEndToEnd(t *testing.T) {
+	idx1 := buildIndexFile(t, 41)
+	idx2 := buildIndexFile(t, 43) // a different read set = the delta
+	srv, _ := newTestServer(t,
+		jobs.Options{ArtifactDir: t.TempDir()}, Options{})
+
+	// Job 1: computed, artifact persisted.
+	resp, body := postJSON(t, srv.URL+"/jobs", fmt.Sprintf(`{"index": %q}`, idx1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sub SubmitResponse
+	mustUnmarshal(t, body, &sub)
+	st := pollDone(t, srv.URL, sub.ID)
+	if !st.Artifact || st.ArtifactReload {
+		t.Fatalf("first job: %+v", st)
+	}
+
+	// The stored artifact streams back with the format magic.
+	araw, err := http.Get(srv.URL + "/jobs/" + sub.ID + "/artifact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(araw.Body)
+	araw.Body.Close()
+	if araw.StatusCode != http.StatusOK || len(blob) < 8 || string(blob[:4]) != "MPAF" {
+		t.Fatalf("artifact fetch: %d, %d bytes", araw.StatusCode, len(blob))
+	}
+
+	// /artifacts lists it.
+	var ents []jobs.ArtifactEntry
+	if resp := getJSON(t, srv.URL+"/artifacts", &ents); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/artifacts: %d", resp.StatusCode)
+	}
+	if len(ents) != 1 || !strings.HasPrefix(ents[0].Name, "p-") || ents[0].Bytes != int64(len(blob)) {
+		t.Fatalf("/artifacts listing: %+v", ents)
+	}
+
+	// Same key at a different shape: served by artifact reload, and the
+	// result agrees with the computed one.
+	resp, body = postJSON(t, srv.URL+"/jobs", fmt.Sprintf(`{"index": %q, "tasks": 2}`, idx1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("reload submit: %d %s", resp.StatusCode, body)
+	}
+	var sub2 SubmitResponse
+	mustUnmarshal(t, body, &sub2)
+	st2 := pollDone(t, srv.URL, sub2.ID)
+	if !st2.ArtifactReload {
+		t.Fatalf("second job did not reload: %+v", st2)
+	}
+
+	// Incremental: idx2 as a delta over job 1's artifact.
+	resp, body = postJSON(t, srv.URL+"/jobs",
+		fmt.Sprintf(`{"index": %q, "delta_of": %q}`, idx2, sub.ID))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("delta submit: %d %s", resp.StatusCode, body)
+	}
+	var sub3 SubmitResponse
+	mustUnmarshal(t, body, &sub3)
+	st3 := pollDone(t, srv.URL, sub3.ID)
+	if st3.State != jobs.Done || !st3.Artifact {
+		t.Fatalf("delta job: %+v", st3)
+	}
+	// The merged artifact is retrievable and can chain.
+	if resp := getJSON(t, srv.URL+"/jobs/"+sub3.ID+"/artifact", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("merged artifact fetch: %d", resp.StatusCode)
+	}
+
+	// The /metrics surface reports the store.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"metaprepd_cache_bytes ", "metaprepd_artifact_entries ",
+		"metaprepd_artifact_hits_total 1", "metaprepd_artifact_bytes ",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Unknown delta_of base is a 400, as is an artifact request once the
+	// store is disabled.
+	if resp, _ := postJSON(t, srv.URL+"/jobs",
+		fmt.Sprintf(`{"index": %q, "delta_of": "j999"}`, idx2)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad delta_of: %d", resp.StatusCode)
+	}
+}
+
+func TestArtifactWithoutStore(t *testing.T) {
+	idx := buildIndexFile(t, 47)
+	srv, _ := newTestServer(t, jobs.Options{}, Options{})
+
+	if resp, body := postJSON(t, srv.URL+"/jobs",
+		fmt.Sprintf(`{"index": %q, "artifact": true}`, idx)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("artifact on storeless daemon: %d %s", resp.StatusCode, body)
+	}
+	if resp := getJSON(t, srv.URL+"/artifacts", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/artifacts on storeless daemon: %d", resp.StatusCode)
+	}
+	// A plain job on a storeless daemon has no artifact endpoint result.
+	resp, body := postJSON(t, srv.URL+"/jobs", fmt.Sprintf(`{"index": %q}`, idx))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sub SubmitResponse
+	mustUnmarshal(t, body, &sub)
+	pollDone(t, srv.URL, sub.ID)
+	if resp := getJSON(t, srv.URL+"/jobs/"+sub.ID+"/artifact", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("artifact of storeless job: %d", resp.StatusCode)
+	}
+}

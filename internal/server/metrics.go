@@ -38,6 +38,18 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "metaprepd_cache_entries %d\n", st.CacheEntries)
 	family(w, "metaprepd_cache_hits_total", "Submissions satisfied from the result cache.", "counter")
 	fmt.Fprintf(w, "metaprepd_cache_hits_total %d\n", st.CacheHits)
+	family(w, "metaprepd_cache_bytes", "Estimated resident bytes of the cached results (labels dominate).", "gauge")
+	fmt.Fprintf(w, "metaprepd_cache_bytes %d\n", st.CacheBytes)
+	if s.mgr.ArtifactStoreEnabled() {
+		family(w, "metaprepd_artifact_entries", "Artifacts resident in the on-disk partition artifact store.", "gauge")
+		fmt.Fprintf(w, "metaprepd_artifact_entries %d\n", st.ArtifactEntries)
+		family(w, "metaprepd_artifact_bytes", "Disk bytes the artifact store occupies.", "gauge")
+		fmt.Fprintf(w, "metaprepd_artifact_bytes %d\n", st.ArtifactBytes)
+		family(w, "metaprepd_artifact_hits_total", "Jobs satisfied by reloading a stored partition artifact.", "counter")
+		fmt.Fprintf(w, "metaprepd_artifact_hits_total %d\n", st.ArtifactHits)
+		family(w, "metaprepd_artifact_misses_total", "Store lookups that fell through to a full pipeline run.", "counter")
+		fmt.Fprintf(w, "metaprepd_artifact_misses_total %d\n", st.ArtifactMisses)
+	}
 	family(w, "metaprepd_orphans_swept_total", "Orphaned spill scratch directories removed by the startup sweep.", "counter")
 	fmt.Fprintf(w, "metaprepd_orphans_swept_total %d\n", s.opts.OrphansSwept)
 	family(w, "metaprepd_traces_dumped_total", "Automatic flight-recorder dumps written for failed, cancelled or SLO-breaching jobs.", "counter")

@@ -9,6 +9,8 @@
 //	GET    /jobs              list jobs
 //	GET    /jobs/{id}         job status + live progress counters
 //	GET    /jobs/{id}/result  completed job's pipeline result
+//	GET    /jobs/{id}/artifact  done job's stored partition artifact (.mpa)
+//	GET    /artifacts         list the daemon's artifact store
 //	GET    /jobs/{id}/trace   flight-recorder dump (Perfetto trace JSON)
 //	POST   /jobs/{id}/cancel  request cancellation
 //	GET    /jobs/{id}/events  Server-Sent Events progress stream
@@ -97,6 +99,8 @@ func New(mgr *jobs.Manager, opts Options) *Server {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("GET /artifacts", s.handleArtifacts)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
@@ -152,6 +156,18 @@ type SubmitRequest struct {
 	// there is deliberately no spill_dir field here.
 	SpillBudgetBytes int64 `json:"spill_budget_bytes"`
 	SpillCompress    bool  `json:"spill_compress"`
+	// Artifact requires the daemon to persist this job's partition artifact
+	// (400 when the daemon runs without -artifact-dir). With a store
+	// configured the daemon persists and reuses artifacts for every job
+	// anyway; the flag exists so a client that intends to fetch
+	// /jobs/{id}/artifact or chain a delta fails fast on a storeless
+	// daemon instead of discovering it after the run.
+	Artifact bool `json:"artifact"`
+	// DeltaOf names an earlier done job whose stored artifact becomes the
+	// base of an incremental repartitioning: this job's index is treated as
+	// a delta read set, merged into the base instead of recomputed from
+	// scratch. The merged artifact is stored too, so deltas chain.
+	DeltaOf string `json:"delta_of"`
 }
 
 // SubmitResponse answers POST /jobs.
@@ -224,6 +240,17 @@ func (s *Server) configFor(req SubmitRequest) (core.Config, error) {
 	cfg.SpillCompress = req.SpillCompress
 	if req.EdisonNet {
 		cfg.Network = mpirt.EdisonNetwork()
+	}
+	if (req.Artifact || req.DeltaOf != "") && !s.mgr.ArtifactStoreEnabled() {
+		return core.Config{}, fmt.Errorf("daemon has no artifact store (start metaprepd with -artifact-dir)")
+	}
+	if req.DeltaOf != "" {
+		base, err := s.mgr.ArtifactPath(req.DeltaOf)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("delta_of %s: %w", req.DeltaOf, err)
+		}
+		cfg.ArtifactIn = base
+		cfg.ArtifactDelta = true
 	}
 	return cfg, nil
 }
@@ -318,6 +345,42 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, res)
 	}
+}
+
+// handleArtifact streams a done job's partition artifact (.mpa bytes) —
+// the file a client feeds back as delta_of's base, inspects with `metaprep
+// artifact info`, or reloads locally with -artifact-in.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	path, err := s.mgr.ArtifactPath(id)
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, jobs.ErrNotDone):
+		writeErr(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="job-`+id+`.mpa"`)
+	http.ServeFile(w, r, path)
+}
+
+// handleArtifacts lists the daemon's artifact store, newest first (404 when
+// the daemon runs without one).
+func (s *Server) handleArtifacts(w http.ResponseWriter, _ *http.Request) {
+	if !s.mgr.ArtifactStoreEnabled() {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("daemon has no artifact store"))
+		return
+	}
+	ents := s.mgr.Artifacts()
+	if ents == nil {
+		ents = []jobs.ArtifactEntry{}
+	}
+	writeJSON(w, http.StatusOK, ents)
 }
 
 // handleTrace serves a job's flight-recorder window as Chrome trace-event

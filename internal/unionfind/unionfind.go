@@ -68,6 +68,23 @@ func New(n int) *DSU {
 	return &DSU{parent: p}
 }
 
+// NewFromLabels rebuilds a DSU from a flattened label array (as produced by
+// Flatten or stored in a partition artifact) and appends extra fresh
+// singleton vertices after it. A flattened array is valid parent-pointer
+// state — every entry points directly at its component root — so Finds on
+// the restored prefix resolve in one hop and new edges union the old
+// components with the appended vertices. This is the incremental
+// repartitioning seam: base labels reload here, delta reads occupy the
+// extra slots.
+func NewFromLabels(labels []uint32, extra int) *DSU {
+	p := make([]uint32, len(labels)+extra)
+	copy(p, labels)
+	for i := len(labels); i < len(p); i++ {
+		p[i] = uint32(i)
+	}
+	return &DSU{parent: p}
+}
+
 // Len returns the number of vertices.
 func (d *DSU) Len() int { return len(d.parent) }
 

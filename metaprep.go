@@ -35,7 +35,9 @@ package metaprep
 import (
 	"context"
 	"io"
+	"time"
 
+	"metaprep/internal/artifact"
 	"metaprep/internal/assembly"
 	"metaprep/internal/core"
 	"metaprep/internal/diginorm"
@@ -119,6 +121,13 @@ var ErrInvalidConfig = core.ErrInvalidConfig
 // read-ahead blocks, so budgets below 64 KiB are rejected at validation.
 const MinSpillBudgetBytes = core.MinSpillBudgetBytes
 
+// AutoSpillBudget discovers a per-rank spill budget from the memory the
+// host actually grants this process (cgroup v2/v1 limits, then
+// /proc/meminfo MemAvailable): half the limit divided across tasks,
+// floored at MinSpillBudgetBytes. Returns 0 when nothing is discoverable
+// (treat as "stay in RAM").
+func AutoSpillBudget(tasks int) int64 { return core.AutoSpillBudget(tasks) }
+
 // ValidateConfig checks a pipeline configuration, returning a *ConfigError
 // for the first violated invariant (nil index, k out of the 64/128-bit
 // ranges, m ≥ k, tasks/threads/passes < 1, inverted filter bounds, …).
@@ -150,6 +159,58 @@ func LoadLabels(path string) ([]uint32, error) { return core.LoadLabels(path) }
 
 // EdisonNetwork models the interconnect of the paper's evaluation machine.
 func EdisonNetwork() *NetworkModel { return mpirt.EdisonNetwork() }
+
+// Persistent partition artifacts. A run with Config.ArtifactOut set writes
+// its sorted k-mer tuple runs, label map, frequency histogram and
+// provenance into one versioned binary file; a later run with
+// Config.ArtifactIn reloads the partitioning without re-enumerating the
+// FASTQ, and with Config.ArtifactDelta it merges a small delta read set
+// into the stored base incrementally.
+type (
+	// Artifact reads a .mpa partition/k-mer-set artifact.
+	Artifact = artifact.Reader
+	// ArtifactMeta is the provenance record stored in an artifact.
+	ArtifactMeta = artifact.Meta
+	// ArtifactInfo is the inspection report of OpenArtifactInfo.
+	ArtifactInfo = artifact.InfoData
+	// ArtifactSetOpStats reports tuple flow through a set operation.
+	ArtifactSetOpStats = artifact.SetOpStats
+)
+
+// Typed artifact failures: ErrBadArtifact for structural corruption (bad
+// magic, truncated sections, CRC mismatches), ErrArtifactMismatch for a
+// well-formed artifact that does not belong to the requested index/filter.
+var (
+	ErrBadArtifact      = artifact.ErrBadArtifact
+	ErrArtifactMismatch = artifact.ErrMismatch
+)
+
+// OpenArtifact opens an artifact for reading (validating magic, TOC and
+// metadata).
+func OpenArtifact(path string) (*Artifact, error) { return artifact.Open(path) }
+
+// OpenArtifactInfo inspects an artifact without loading its sections; with
+// verify set it also CRC-checks every section.
+func OpenArtifactInfo(path string, verify bool) (ArtifactInfo, error) {
+	return artifact.Info(path, verify)
+}
+
+// ArtifactUnion writes a k-mer-set artifact holding the distinct k-mers
+// appearing in any input artifact.
+func ArtifactUnion(out string, inputs []string) (ArtifactSetOpStats, error) {
+	return artifact.Union(out, inputs)
+}
+
+// ArtifactIntersect writes the distinct k-mers appearing in every input.
+func ArtifactIntersect(out string, inputs []string) (ArtifactSetOpStats, error) {
+	return artifact.Intersect(out, inputs)
+}
+
+// ArtifactDiff writes the distinct k-mers of the first input that appear
+// in none of the rest.
+func ArtifactDiff(out string, inputs []string) (ArtifactSetOpStats, error) {
+	return artifact.Diff(out, inputs)
+}
 
 // Observability (spans, counters, trace export).
 type (
@@ -263,6 +324,34 @@ func PredictMemory(w Workload, c ClusterSpec) int64 { return model.MemoryPerTask
 // volume for a cluster — the quantity the pipelined delta tree merge shrinks
 // versus the dense star schedule.
 func PredictMergeWireBytes(w Workload, c ClusterSpec) int64 { return model.MergeWireBytes(w, c) }
+
+// PredictArtifactBytes models the on-disk size of a partition artifact.
+func PredictArtifactBytes(w Workload) int64 { return model.ArtifactBytes(w) }
+
+// PredictArtifactWrite models the cost an artifact emit adds to a run
+// (only the final sequential assembly — the tuple tee overlaps LocalCC).
+func PredictArtifactWrite(cal Calibration, w Workload) time.Duration {
+	return model.ArtifactWriteSeconds(cal, w)
+}
+
+// PredictArtifactReload models satisfying a run from a stored artifact.
+func PredictArtifactReload(cal Calibration, w Workload) time.Duration {
+	return model.ArtifactReloadSeconds(cal, w)
+}
+
+// PredictIncremental models an incremental repartitioning: the pipeline
+// over the delta alone plus the streaming base/delta artifact merge.
+func PredictIncremental(cal Calibration, base, delta Workload, c ClusterSpec) time.Duration {
+	return model.PredictIncremental(cal, base, delta, c)
+}
+
+// IncrementalCrossover returns the delta fraction below which merging into
+// a stored artifact is predicted faster than recomputing from scratch —
+// which shrinks as the cluster widens, because the full pipeline
+// parallelizes while the merge is a single stream.
+func IncrementalCrossover(cal Calibration, w Workload, c ClusterSpec) float64 {
+	return model.IncrementalCrossover(cal, w, c)
+}
 
 // EdisonCalibration returns constants fitted to the paper's measurements.
 func EdisonCalibration() Calibration { return model.Edison() }
