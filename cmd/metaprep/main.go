@@ -95,6 +95,7 @@ func usage() {
                       [-outdir DIR] [-edison-net] [-merge-output]
                       [-exchange-chunk N] [-prefetch N] [-no-prefetch]
                       [-spill-budget BYTES|auto] [-spill-dir DIR] [-spill-compress]
+                      [-prefilter-bits N] [-prefilter-min N]
                       [-artifact-out FILE] [-artifact-in FILE] [-delta]
                       [-trace FILE] [-metrics FILE] [-counters FILE|-]
                       [-drift-cal edison|ganga|off] [-trajectory FILE]
@@ -157,6 +158,8 @@ func cmdRun(args []string) error {
 	spillBudget := fs.String("spill-budget", "", "per-rank tuple memory budget, e.g. 256M or 2G, or 'auto' to probe the cgroup/host memory limit; when the exchange would exceed it LocalSort spills sorted runs to disk and merges them as a stream (empty = all in RAM)")
 	spillDir := fs.String("spill-dir", "", "directory for spill run files (empty = the OS temp dir)")
 	spillCompress := fs.Bool("spill-compress", false, "varint/delta-compress spill runs (64-bit keys only): less disk bandwidth for more CPU")
+	prefilterBits := fs.Int("prefilter-bits", 0, "enable the two-pass Bloom singleton prefilter, sized at this many bits per k-mer (8 is a good default; 0 = off): a cheap extra scan drops tuples for k-mers seen fewer than -prefilter-min times, cutting wire, sort and spill volume")
+	prefilterMin := fs.Int("prefilter-min", 0, "prefilter count threshold (default 2 = drop only singletons, which is lossless; requires -prefilter-bits)")
 	artifactOut := fs.String("artifact-out", "", "persist the partitioning (sorted k-mer runs, labels, histogram, provenance) as a .mpa artifact here")
 	artifactIn := fs.String("artifact-in", "", "reload the partitioning from a .mpa artifact instead of recomputing (must match this index and filter)")
 	delta := fs.Bool("delta", false, "treat -index as a delta read set and merge it incrementally into the -artifact-in base")
@@ -216,6 +219,7 @@ func cmdRun(args []string) error {
 	}
 	cfg.SpillDir = *spillDir
 	cfg.SpillCompress = *spillCompress
+	cfg.Prefilter = metaprep.Prefilter{BitsPerKmer: *prefilterBits, MinCount: *prefilterMin}
 	cfg.ArtifactOut = *artifactOut
 	cfg.ArtifactIn = *artifactIn
 	cfg.ArtifactDelta = *delta

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"metaprep"
+	"metaprep/internal/stats"
+)
+
+// expPrefilter measures the probabilistic singleton prefilter on an
+// IS-like community: the IS preset with a soil-like 3% error rate, so a
+// large fraction of the enumerated tuples are error-singleton k-mers the
+// Bloom gate can drop. One exact reference run, then a bits-per-k-mer
+// sweep at the lossless MinCount 2 plus one aggressive MinCount 4 point.
+// Each row reports the tuple and wire volume against the exact run, the
+// partition purity against the exact labels (1.0 = pure refinement; the
+// default sizing must stay ≥ 0.99 — the CI gate), the filter footprint and
+// build time, and the model drift ratio. A second table gives the model's
+// crossover singleton fraction at paper scale.
+func expPrefilter(e *env) error {
+	idx, _, err := e.prefilterIndex()
+	if err != nil {
+		return err
+	}
+
+	run := func(pf metaprep.Prefilter) (*metaprep.Result, *metaprep.Collector, error) {
+		cfg := metaprep.DefaultConfig(idx)
+		cfg.Tasks = 4
+		cfg.Threads = 2
+		cfg.Passes = 2
+		cfg.Network = metaprep.EdisonNetwork()
+		cfg.Prefilter = pf
+		obs := metaprep.NewCollector()
+		cfg.Obs = obs
+		res, err := metaprep.Partition(cfg)
+		return res, obs, err
+	}
+
+	exact, _, err := run(metaprep.Prefilter{})
+	if err != nil {
+		return err
+	}
+	exactOrigin := make([]int32, len(exact.Labels))
+	for i, l := range exact.Labels {
+		exactOrigin[i] = int32(l)
+	}
+	exactWire := wireBytes(exact)
+
+	type row struct {
+		Variant       string  `json:"variant"`
+		Bits          int     `json:"bits"`
+		MinCount      int     `json:"min_count"`
+		Tuples        uint64  `json:"tuples"`
+		WireBytes     int64   `json:"wire_bytes"`
+		TupleCut      float64 `json:"tuple_reduction"`
+		WireCut       float64 `json:"wire_reduction"`
+		Purity        float64 `json:"purity"`
+		FilterBytes   uint64  `json:"filter_bytes"`
+		BuildMS       float64 `json:"build_ms"`
+		TotalMS       float64 `json:"total_ms"`
+		DriftRatio    float64 `json:"drift_ratio"`
+		EstFPRatePPM  uint64  `json:"est_fp_rate_ppm"`
+		KmersDroppedM float64 `json:"kmers_dropped_millions"`
+	}
+	rows := []row{{
+		Variant: "exact", Tuples: exact.Tuples, WireBytes: exactWire,
+		Purity: 1, TotalMS: tot(exact), DriftRatio: driftRatio(exact),
+	}}
+
+	t := stats.NewTable("Variant", "Tuples", "TupleCut", "WireCut", "Purity",
+		"FilterMB", "Build(ms)", "Total", "Drift")
+	t.AddRow("exact", exact.Tuples, "-", "-", "1.0000", "-", "-",
+		exact.Steps.Total(), fmt.Sprintf("%.2f", driftRatio(exact)))
+
+	sweep := []metaprep.Prefilter{
+		{BitsPerKmer: 4},
+		{BitsPerKmer: 8},
+		{BitsPerKmer: 12},
+		{BitsPerKmer: 8, MinCount: 4},
+	}
+	for _, pf := range sweep {
+		res, obs, err := run(pf)
+		if err != nil {
+			return err
+		}
+		var fb, buildUS, fpPPM, dropped uint64
+		for _, cv := range obs.Counters() {
+			switch cv.Name {
+			case "prefilter/filter_bytes":
+				fb += cv.Value
+			case "prefilter/build_us":
+				if cv.Value > buildUS {
+					buildUS = cv.Value
+				}
+			case "prefilter/est_fp_rate":
+				if cv.Value > fpPPM {
+					fpPPM = cv.Value
+				}
+			case "prefilter/kmers_dropped":
+				dropped += cv.Value
+			}
+		}
+		purity, _ := metaprep.PartitionPurity(res.Labels, exactOrigin)
+		wire := wireBytes(res)
+		mc := pf.MinCount
+		if mc == 0 {
+			mc = 2
+		}
+		name := fmt.Sprintf("bloom/%db", pf.BitsPerKmer)
+		if pf.MinCount != 0 {
+			name = fmt.Sprintf("bloom/%db/mc%d", pf.BitsPerKmer, pf.MinCount)
+		}
+		r := row{
+			Variant: name, Bits: pf.BitsPerKmer, MinCount: mc,
+			Tuples: res.Tuples, WireBytes: wire,
+			TupleCut:    1 - float64(res.Tuples)/float64(exact.Tuples),
+			WireCut:     1 - float64(wire)/float64(exactWire),
+			Purity:      purity,
+			FilterBytes: fb, BuildMS: float64(buildUS) / 1e3,
+			TotalMS: tot(res), DriftRatio: driftRatio(res),
+			EstFPRatePPM: fpPPM, KmersDroppedM: float64(dropped) / 1e6,
+		}
+		rows = append(rows, r)
+		t.AddRow(name, res.Tuples,
+			fmt.Sprintf("%.1f%%", 100*r.TupleCut), fmt.Sprintf("%.1f%%", 100*r.WireCut),
+			fmt.Sprintf("%.4f", purity), fmt.Sprintf("%.2f", float64(fb)/(1<<20)),
+			fmt.Sprintf("%.1f", r.BuildMS), res.Steps.Total(),
+			fmt.Sprintf("%.2f", r.DriftRatio))
+	}
+	if err := e.emitBench("prefilter", t, rows); err != nil {
+		return err
+	}
+
+	// The model's view at paper scale: the singleton fraction above which
+	// the second scan pays off, per cluster width. The combine — every
+	// rank's full ladder into rank 0 — grows with P, so the crossover
+	// climbs until the prefilter stops paying at all (g* = 1).
+	cal := metaprep.EdisonCalibration()
+	mt := stats.NewTable("Model (IS, T=24, S=2)", "P=2", "P=4", "P=8", "P=16")
+	w := metaprep.PaperWorkload("IS")
+	g := func(p int) string {
+		x := metaprep.PrefilterCrossover(cal, w, metaprep.ClusterSpec{P: p, T: 24, S: 2})
+		if x >= 1 {
+			return "never"
+		}
+		return fmt.Sprintf("%.3f", x)
+	}
+	mt.AddRow("crossover g*", g(2), g(4), g(8), g(16))
+	if err := e.emit("prefilter-model", mt); err != nil {
+		return err
+	}
+	fmt.Println("(extension: MinCount 2 rows are lossless — identical labels — because dropped singletons cannot form edges; purity < 1 only appears at MinCount 4, where dropped low-count k-mers split components)")
+	return nil
+}
+
+// prefilterIndex generates (once) the error-rich IS variant the prefilter
+// experiment runs on: the IS preset with ErrorRate raised to 3%, indexed at
+// the default k=27.
+func (e *env) prefilterIndex() (*metaprep.Index, *metaprep.Dataset, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := "ISerr-k27"
+	if idx, ok := e.indexes[key]; ok {
+		return idx, e.datasets["ISerr"], nil
+	}
+	spec, err := metaprep.Preset("IS", e.scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec.Name = "ISerrsim"
+	spec.ErrorRate = 0.03
+	dir := filepath.Join(e.ws, "data", "ISerr")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	ds, err := metaprep.Generate(spec, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := metaprep.DefaultIndexOptions()
+	opts.Paired = true
+	opts.ChunkSize = 1 << 20
+	idx, err := metaprep.BuildIndex(ds.Files, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.datasets["ISerr"] = ds
+	e.indexes[key] = idx
+	return idx, ds, nil
+}
+
+// wireBytes sums the per-task exchange send volume.
+func wireBytes(res *metaprep.Result) int64 {
+	var n int64
+	for _, rep := range res.PerTask {
+		n += rep.BytesSent
+	}
+	return n
+}
+
+// driftRatio extracts the reconciled measured/predicted total, 0 when the
+// run carried no drift report.
+func driftRatio(res *metaprep.Result) float64 {
+	if res.Drift == nil {
+		return 0
+	}
+	return res.Drift.TotalRatio
+}

@@ -10,8 +10,8 @@
 //	mpbench -list                    # list experiments
 //
 // Experiments: tab2 fig5 fig6 fig7 fig8 tab3 fig9 sort tab4 tab5 tab6 tab7
-// tab8 tab9 purity ablate exchange extsort artifact backhalf pipeline
-// stream calib.
+// tab8 tab9 purity ablate exchange extsort artifact prefilter backhalf
+// pipeline stream calib.
 package main
 
 import (
@@ -48,6 +48,7 @@ func experiments() []experiment {
 		{"exchange", "extension: bulk vs streaming chunked exchange (overlap)", expExchange},
 		{"extsort", "extension: out-of-core LocalSort (spill budget sweep, parity-checked)", expExtsort},
 		{"artifact", "extension: persistent partition artifacts (reload >=5x, incremental parity)", expArtifact},
+		{"prefilter", "extension: Bloom singleton prefilter (bits sweep, purity vs exact, wire cut)", expPrefilter},
 		{"backhalf", "extension: delta tree merge, broadcast schedule, overlapped CC-I/O", expBackHalf},
 		{"pipeline", "observability: per-step latency and model drift under the flight recorder", expPipeline},
 		{"stream", "STREAM Triad memory bandwidth", expStream},

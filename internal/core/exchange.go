@@ -145,6 +145,7 @@ func (st *taskState) startStream(s int, gl genLayout, rl recvLayout) *exchStream
 func (ex *exchStream) join() error {
 	ex.wg.Wait()
 	ex.st.exchTracker = nil
+	ex.st.pfTracker = nil
 	if ex.sendErr != nil {
 		return ex.sendErr
 	}
@@ -307,6 +308,11 @@ func (ex *exchStream) recvLoop(s int, rl recvLayout) error {
 // path on Config.ExchangeChunkTuples. Results are bit-identical; only the
 // schedule (and therefore the step-time split) differs.
 func (st *taskState) genExchange(s int, gl genLayout, rl recvLayout) error {
+	if st.keep != nil {
+		// The prefilter makes tuple counts dynamic; its twin dispatcher
+		// routes through compaction (bulk) or chunk publication (streaming).
+		return st.genExchangeFiltered(s, gl, rl)
+	}
 	if st.p.cfg.ExchangeChunkTuples == 0 {
 		if err := st.kmerGen(s, gl); err != nil {
 			return err
@@ -330,13 +336,19 @@ func (st *taskState) genExchange(s int, gl genLayout, rl recvLayout) error {
 	if err != nil {
 		return err
 	}
-	// Step accounting. The modeled transfer time accrued at the sender's
-	// Waits; the portion that fits inside the enumeration wall time is
-	// overlapped (hidden), and only the remainder is exposed communication.
-	// KmerGen-Comm therefore charges the measured post-enumeration drain
-	// (the real tail: final chunks, peer skew, barrier) plus the exposed
-	// modeled time — summed with KmerGen's charge this yields the
-	// overlapped total max(T_gen, T_comm) + ε the cost model predicts.
+	st.streamTail(ex, genEnd)
+	return nil
+}
+
+// streamTail is the streaming exchange's step accounting, shared by the
+// exact and prefiltered paths. The modeled transfer time accrued at the
+// sender's Waits; the portion that fits inside the enumeration wall time is
+// overlapped (hidden), and only the remainder is exposed communication.
+// KmerGen-Comm therefore charges the measured post-enumeration drain (the
+// real tail: final chunks, peer skew, barrier) plus the exposed modeled
+// time — summed with KmerGen's charge this yields the overlapped total
+// max(T_gen, T_comm) + ε the cost model predicts.
+func (st *taskState) streamTail(ex *exchStream, genEnd time.Time) {
 	tail := time.Since(genEnd)
 	commModel := st.t.TakeCommTime()
 	total := commModel
@@ -351,5 +363,4 @@ func (st *taskState) genExchange(s int, gl genLayout, rl recvLayout) error {
 	d := tail + commModel
 	st.rep.Steps.KmerGenComm += d
 	st.stepSpan("KmerGen-Comm", genEnd, d)
-	return nil
 }

@@ -14,7 +14,7 @@ import (
 // and re-pin — never let old cached results alias the new scheme silently.
 func TestCanonicalHashGolden(t *testing.T) {
 	def := Config{Tasks: 1, Threads: 1, Passes: 1, CCOpt: true}
-	const wantDef = "5e4a544455aebd8e8a29419f36068fa7f19194030cdfe86d2f16d809e2d598f3"
+	const wantDef = "2b25dc53ba4605aeff3d2f7b8c81915163792c704c5be3d32efb7e4142ba5844"
 	if got := def.CanonicalHash(); got != wantDef {
 		t.Errorf("CanonicalHash(default) = %s, want %s", got, wantDef)
 	}
@@ -35,7 +35,7 @@ func TestCanonicalHashGolden(t *testing.T) {
 		NoVectorKmerGen:  true,
 		Network:          &mpirt.NetworkModel{Latency: time.Microsecond, BandwidthBytesPerSec: 8e9},
 	}
-	const wantFull = "b294afde9bda3f044c2138f1b872805dfa321c9e95a72f9103fbf559e04f4108"
+	const wantFull = "714155b18b08772aea078ee6d80c74aa69c174d6658956047ab5721f96c10e7a"
 	if got := full.CanonicalHash(); got != wantFull {
 		t.Errorf("CanonicalHash(full) = %s, want %s", got, wantFull)
 	}
@@ -95,6 +95,19 @@ func TestCanonicalHashEquivalentSpellings(t *testing.T) {
 		t.Errorf("Pool leaked into the hash: %s vs %s", want, got)
 	}
 
+	// MinCount 0 and 2 both mean "drop singletons" when the prefilter is
+	// enabled, and MinCount is irrelevant while it is disabled.
+	pfDefault := base
+	pfDefault.Prefilter = Prefilter{BitsPerKmer: 8}
+	pfSpelled := base
+	pfSpelled.Prefilter = Prefilter{BitsPerKmer: 8, MinCount: 2}
+	if pfDefault.CanonicalHash() != pfSpelled.CanonicalHash() {
+		t.Errorf("Prefilter MinCount 0 vs 2 hash differently")
+	}
+	if pfDefault.CanonicalHash() == want {
+		t.Errorf("Prefilter did not change the hash")
+	}
+
 	// The Index pointer and the Obs collector are not run-defining: the
 	// index is the other half of the cache key, observability never
 	// changes results.
@@ -131,6 +144,11 @@ func TestCanonicalHashSensitivity(t *testing.T) {
 		"spill_compress": func(c *Config) {
 			c.SpillBudgetBytes = 1 << 20
 			c.SpillCompress = true
+		},
+		"prefilter.bits_per_kmer": func(c *Config) { c.Prefilter.BitsPerKmer = 8 },
+		"prefilter.min_count": func(c *Config) {
+			c.Prefilter.BitsPerKmer = 8
+			c.Prefilter.MinCount = 3
 		},
 		"network": func(c *Config) {
 			c.Network = &mpirt.NetworkModel{Latency: time.Microsecond, BandwidthBytesPerSec: 1e9}

@@ -11,6 +11,7 @@ import (
 	"metaprep/internal/kmer"
 	"metaprep/internal/obsv"
 	"metaprep/internal/par"
+	"metaprep/internal/sketch"
 )
 
 // kmergen.go implements the KmerGen step (§3.2): each thread reads its
@@ -55,6 +56,13 @@ func (st *taskState) kmerGen(s int, gl genLayout) error {
 		copy(sharedCur, gl.dstOff)
 	}
 
+	if st.keep != nil {
+		// Prefiltered passes fill only a prefix of each (dst, thread)
+		// sub-region; the end cursors land here for the compaction and the
+		// kept-count accounting below.
+		st.genKept = make([]uint64, cfg.Tasks*T)
+	}
+
 	ioTimes := make([]time.Duration, T)
 	genTimes := make([]time.Duration, T)
 	errs := make([]error, T)
@@ -74,10 +82,20 @@ func (st *taskState) kmerGen(s int, gl genLayout) error {
 	ioDur, genDur := maxOfDur(ioTimes), maxOfDur(genTimes)
 	st.rep.Steps.KmerGenIO += ioDur
 	st.rep.Steps.KmerGen += genDur
-	st.rep.Tuples += gl.total
+	kept := gl.total
+	if st.keep != nil {
+		kept = 0
+		for dst := 0; dst < cfg.Tasks; dst++ {
+			for t := 0; t < T; t++ {
+				kept += st.genKept[dst*T+t] - gl.cursor[dst*T+t]
+			}
+		}
+		st.counter("prefilter/tuples_saved").Add(gl.total - kept)
+	}
+	st.rep.Tuples += kept
 	st.stepSpan("KmerGen-I/O", phaseStart, ioDur)
 	st.stepSpan("KmerGen", phaseStart.Add(ioDur), genDur)
-	st.counter("kmergen/kmers").Add(gl.total)
+	st.counter("kmergen/kmers").Add(kept)
 	return nil
 }
 
@@ -125,6 +143,35 @@ func (st *taskState) kmerGenThread(s, t int, gl genLayout, owner []uint16,
 		}
 		st.out.set(i, hi, lo, val)
 	}
+	if tr := st.pfTracker; tr != nil {
+		// Prefiltered streaming exchange: each thread publishes its kept
+		// ranges at chunk-size boundaries and, on return, a last-flagged
+		// final per destination (pub is sized so neither ever blocks). The
+		// exact path's fill-count tracker cannot be used — under filtering
+		// a chunk's planned fill count is never reached.
+		mark := make([]uint64, cfg.Tasks)
+		copy(mark, cur)
+		emit = func(bin int, hi, lo uint64, val uint32) {
+			dst := int(owner[bin-passLo])
+			i := cur[dst]
+			if i >= lim[dst] {
+				overflow = true
+				return
+			}
+			st.out.set(i, hi, lo, val)
+			i++
+			cur[dst] = i
+			if i-mark[dst] == tr.chunkTuples {
+				tr.pub <- pfChunk{dst: dst, off: mark[dst], cnt: tr.chunkTuples}
+				mark[dst] = i
+			}
+		}
+		defer func() {
+			for dst := 0; dst < cfg.Tasks; dst++ {
+				tr.pub <- pfChunk{dst: dst, off: mark[dst], cnt: cur[dst] - mark[dst], last: true}
+			}
+		}()
+	}
 	if tr := st.exchTracker; tr != nil {
 		// Streaming exchange: track chunk fills. Each thread flushes its
 		// contribution [mark, cur) to the tracker at every chunk boundary
@@ -154,6 +201,20 @@ func (st *taskState) kmerGenThread(s, t int, gl genLayout, owner []uint16,
 				mark[dst] = i
 				bound[dst] = tr.nextBound(dst, i, lim[dst])
 			}
+		}
+	}
+	if keep := st.keep; keep != nil {
+		// Prefilter gate, wrapped around whichever emit variant applies: a
+		// k-mer outside the global keep set generates no tuple — it never
+		// crosses the wire, enters LocalSort, or spills. One blocked-Bloom
+		// probe (a single cache line) per enumerated k-mer.
+		write := emit
+		emit = func(bin int, hi, lo uint64, val uint32) {
+			h1, h2 := sketch.Hash(hi, lo)
+			if !keep.Contains(h1, h2) {
+				return
+			}
+			write(bin, hi, lo, val)
 		}
 	}
 
@@ -246,12 +307,18 @@ func (st *taskState) kmerGenThread(s, t int, gl genLayout, owner []uint16,
 
 	// The index promised exact counts; verify this thread filled its
 	// sub-regions precisely (a mismatch, like an overflow above, means the
-	// FASTQ changed since IndexCreate).
+	// FASTQ changed since IndexCreate). Under the prefilter only the upper
+	// bound holds — dropped tuples leave the sub-regions part-filled — so
+	// the end cursors are recorded instead of checked.
 	if overflow {
 		return fmt.Errorf("core: task %d thread %d produced more tuples than the index predicts — input changed since IndexCreate?",
 			st.rank, t)
 	}
-	if sharedCur == nil {
+	if st.keep != nil {
+		for dst := 0; dst < cfg.Tasks; dst++ {
+			st.genKept[dst*T+t] = cur[dst]
+		}
+	} else if sharedCur == nil {
 		for dst := 0; dst < cfg.Tasks; dst++ {
 			if cur[dst] != lim[dst] {
 				return fmt.Errorf("core: task %d thread %d: wrote %d tuples for task %d, index predicts %d — input changed since IndexCreate?",

@@ -11,6 +11,7 @@ import (
 	"metaprep/internal/mpirt"
 	"metaprep/internal/obsv"
 	"metaprep/internal/radix"
+	"metaprep/internal/sketch"
 	"metaprep/internal/unionfind"
 )
 
@@ -59,6 +60,19 @@ type taskState struct {
 	// exchTracker, non-nil only while a streaming exchange pass runs,
 	// receives chunk-fill notifications from the KmerGen worker threads.
 	exchTracker *chunkTracker
+	// pfTracker is exchTracker's prefiltered twin: explicit chunk
+	// publication instead of fill counting (see prefilter.go).
+	pfTracker *pfTracker
+
+	// keep, non-nil when the prefilter is enabled, is the global "seen ≥
+	// MinCount times" Bloom every KmerGen emit consults; filterBytes is the
+	// pass-1 ladder's memory charge. genKept[dst*T+t] records thread t's
+	// end cursor in dst's send region per pass (kept = end − start cursor);
+	// recvGot[src] the actual tuples landed from src this pass.
+	keep        *sketch.Bloom
+	filterBytes int64
+	genKept     []uint64
+	recvGot     []uint64
 	// exchTupleCounters[src] is the preformatted per-source-rank tuple
 	// counter ("exchange/tuples[src->rank]"), resolved once at task setup
 	// so the receive path never formats counter names (nil when
@@ -371,6 +385,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				st.maxChunkBytes = sz
 			}
 		}
+		if cfg.Prefilter.Enabled() {
+			// Pass 1 of the two-pass prefilter: scan, combine, broadcast.
+			// Every later pass's KmerGen consults st.keep.
+			if err := st.buildPrefilter(); err != nil {
+				return err
+			}
+		}
 
 		for s := 0; s < cfg.Passes; s++ {
 			gl := pl.genLayout(s, st.rank)
@@ -383,7 +404,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				if err := st.genExchange(s, gl, rl); err != nil {
 					return err
 				}
-				sl := pl.sortLayout(s, st.rank, rl)
+				var sl sortLayout
+				if st.keep != nil {
+					sl = st.sortLayoutFiltered(s, rl)
+				} else {
+					sl = pl.sortLayout(s, st.rank, rl)
+				}
 				st.localSort(s, sl)
 				// The artifact part writer overlaps LocalCC: both only
 				// read the sorted kmerOut. The join below keeps the
@@ -562,6 +588,9 @@ func (st *taskState) memoryBytes() int64 {
 		// SnapshotDelta's shadow baseline (lazily allocated on senders).
 		mem += 4 * int64(idx.Reads)
 	}
+	// The prefilter ladder (pass-1 peak; the broadcast keep bitmap is one
+	// of its levels).
+	mem += st.filterBytes
 	return mem
 }
 

@@ -114,11 +114,17 @@ func (st *taskState) localSort(s int, sl sortLayout) {
 	// passes the partitioning already decided.
 	shift := 2 * uint(st.p.idx.Opts.K-st.p.idx.Opts.M)
 	par.Run(T, func(d int) {
+		binCounts := st.p.idx.MerHist[sl.partBinLo[d]:sl.partBinHi[d]]
+		if st.keep != nil {
+			// MerHist describes the unfiltered tuple stream; under the
+			// prefilter the radix sort falls back to its counting path.
+			binCounts = nil
+		}
 		kr := keyRange{
 			binLo:     sl.partBinLo[d],
 			binHi:     sl.partBinHi[d],
 			shift:     shift,
-			binCounts: st.p.idx.MerHist[sl.partBinLo[d]:sl.partBinHi[d]],
+			binCounts: binCounts,
 		}
 		st.out.sortRange(sl.partOff[d], sl.partCnt[d], kr, st.in)
 	})

@@ -1,0 +1,123 @@
+package diginorm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"metaprep/internal/kmer"
+)
+
+// compat_test.go pins the double-hashing change: deriving per-row sketch
+// cells as h1 + i·h2 from one mix of the k-mer must make the same keep/drop
+// decisions as the original scheme that rehashed the k-mer per row. The two
+// schemes place counters differently, but on the fixture scale — a few
+// thousand distinct k-mers against a 2^16×4 sketch — both are collision-
+// free, so every estimate equals the true count and the decision streams
+// must be identical. A divergence means the new hash family changed
+// observable behavior, not just cell placement.
+
+// refNormalizer reimplements the pre-hoist normalizer: per-row chained
+// splitmix64 rehashing with modulo range reduction.
+type refNormalizer struct {
+	opts   Options
+	sketch [][]uint8
+	counts []int
+}
+
+func newRef(opts Options) *refNormalizer {
+	n := &refNormalizer{opts: opts}
+	n.sketch = make([][]uint8, opts.SketchDepth)
+	for d := range n.sketch {
+		n.sketch[d] = make([]uint8, opts.SketchWidth)
+	}
+	return n
+}
+
+func refMix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+func (n *refNormalizer) estimate(km uint64) uint8 {
+	est := uint8(255)
+	h := km
+	for d := range n.sketch {
+		h = refMix(h + uint64(d))
+		c := n.sketch[d][h%uint64(len(n.sketch[d]))]
+		if c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+func (n *refNormalizer) insert(km uint64) {
+	est := n.estimate(km)
+	if est == 255 {
+		return
+	}
+	h := km
+	for d := range n.sketch {
+		h = refMix(h + uint64(d))
+		c := &n.sketch[d][h%uint64(len(n.sketch[d]))]
+		if *c == est {
+			*c = est + 1
+		}
+	}
+}
+
+func (n *refNormalizer) Keep(seq []byte) bool {
+	n.counts = n.counts[:0]
+	kmer.ForEach64(seq, n.opts.K, func(_ int, m kmer.Kmer64) {
+		n.counts = append(n.counts, int(n.estimate(uint64(m))))
+	})
+	if len(n.counts) == 0 {
+		return true
+	}
+	sort.Ints(n.counts)
+	if n.counts[len(n.counts)/2] >= n.opts.Target {
+		return false
+	}
+	kmer.ForEach64(seq, n.opts.K, func(_ int, m kmer.Kmer64) {
+		n.insert(uint64(m))
+	})
+	return true
+}
+
+func TestDoubleHashCompat(t *testing.T) {
+	fixtures := map[string][][]byte{}
+	// High-coverage fixture: 50× of one genome (TestHighCoverageIsFlattened).
+	rng := rand.New(rand.NewSource(1))
+	genome := randGenome(rng, 2000)
+	var high [][]byte
+	for i := 0; i < 1000; i++ {
+		pos := rng.Intn(len(genome) - 100)
+		high = append(high, genome[pos:pos+100])
+	}
+	fixtures["high-coverage"] = high
+	// Exact-duplicate fixture (TestOrderMatters).
+	read := randGenome(rand.New(rand.NewSource(3)), 100)
+	var dup [][]byte
+	for i := 0; i < 20; i++ {
+		dup = append(dup, read)
+	}
+	fixtures["duplicates"] = dup
+
+	for name, reads := range fixtures {
+		cur, err := New(tinyOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRef(tinyOpts())
+		for i, seq := range reads {
+			got, want := cur.Keep(seq), ref.Keep(seq)
+			if got != want {
+				t.Fatalf("%s read %d: double-hashed sketch keeps=%v, per-row rehash keeps=%v",
+					name, i, got, want)
+			}
+		}
+	}
+}

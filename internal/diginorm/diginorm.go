@@ -25,6 +25,7 @@ import (
 
 	"metaprep/internal/fastq"
 	"metaprep/internal/kmer"
+	"metaprep/internal/sketch"
 )
 
 // Options configures normalization.
@@ -67,10 +68,13 @@ type Stats struct {
 	KeptBases int64
 }
 
-// Normalizer is the streaming filter. It is not safe for concurrent use.
+// Normalizer is the streaming filter: a thin consumer of the shared
+// count–min sketch in internal/sketch (which also carries the hash family —
+// per-row cells come from double hashing one (h1, h2) pair, not from
+// rehashing the k-mer per row). It is not safe for concurrent use.
 type Normalizer struct {
 	opts   Options
-	sketch [][]uint8
+	cm     *sketch.CountMin
 	counts []int // scratch for median computation
 }
 
@@ -79,51 +83,19 @@ func New(opts Options) (*Normalizer, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Normalizer{opts: opts}
-	n.sketch = make([][]uint8, opts.SketchDepth)
-	for d := range n.sketch {
-		n.sketch[d] = make([]uint8, opts.SketchWidth)
-	}
-	return n, nil
-}
-
-// splitmix64 is the mixing function used to derive per-row hashes.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
-	x = (x ^ x>>27) * 0x94D049BB133111EB
-	return x ^ x>>31
+	return &Normalizer{opts: opts, cm: sketch.NewCountMin(opts.SketchWidth, opts.SketchDepth)}, nil
 }
 
 // estimate returns the sketch's count for a k-mer (the minimum over rows).
 func (n *Normalizer) estimate(km uint64) uint8 {
-	est := uint8(255)
-	h := km
-	for d := range n.sketch {
-		h = splitmix64(h + uint64(d))
-		c := n.sketch[d][h%uint64(len(n.sketch[d]))]
-		if c < est {
-			est = c
-		}
-	}
-	return est
+	h1, h2 := sketch.Hash(0, km)
+	return n.cm.Estimate(h1, h2)
 }
 
-// insert increments a k-mer's counters (saturating, conservative update:
-// only rows at the current minimum are bumped, reducing overestimates).
+// insert increments a k-mer's counters (saturating, conservative update).
 func (n *Normalizer) insert(km uint64) {
-	est := n.estimate(km)
-	if est == 255 {
-		return
-	}
-	h := km
-	for d := range n.sketch {
-		h = splitmix64(h + uint64(d))
-		c := &n.sketch[d][h%uint64(len(n.sketch[d]))]
-		if *c == est {
-			*c = est + 1
-		}
-	}
+	h1, h2 := sketch.Hash(0, km)
+	n.cm.Add(h1, h2)
 }
 
 // Keep decides whether seq passes normalization. If it does, the read's

@@ -1,0 +1,114 @@
+package model
+
+import "testing"
+
+// prefilter_test.go pins the §3.7 extension for the probabilistic
+// prefilter: the pass-1 scan is pure overhead at zero droppable mass, pays
+// off once the singleton fraction crosses PrefilterCrossover, and the
+// byte-volume predictions shrink with the keep fraction.
+
+func TestPrefilterModel(t *testing.T) {
+	w := PaperWorkload("MM")
+	w.SingletonKmerFrac = 0.7 // error-rich short reads: most distinct k-mers singletons
+	cal := Edison()
+	// Two tasks: the P−1 serialized ladder uploads of the combine stay
+	// cheap, so the saved exchange and sort dominate. (At high P the
+	// combine term — every rank's full ladder into rank 0 — swamps the
+	// per-task savings; that is a real property of the default sizing, and
+	// PrefilterCrossover reports it as g* = 1.)
+	off := Cluster{P: 2, T: 24, S: 2}
+	on := off
+	on.PrefilterBits = 8
+
+	base := Predict(cal, w, off)
+	pf := Predict(cal, w, on)
+
+	// At 70% droppable mass the saved exchange and sort dwarf one extra scan.
+	if pf.Total() >= base.Total() {
+		t.Errorf("prefilter at g=0.7: total %v, exact %v — second scan never paid off", pf.Total(), base.Total())
+	}
+	if pf.LocalSort >= base.LocalSort {
+		t.Errorf("LocalSort did not shrink: %v vs %v", pf.LocalSort, base.LocalSort)
+	}
+	// The scan overhead lands on the KmerGen steps.
+	if pf.KmerGenIO <= base.KmerGenIO {
+		t.Errorf("KmerGen-I/O did not grow by the pass-1 read: %v vs %v", pf.KmerGenIO, base.KmerGenIO)
+	}
+
+	// With nothing droppable the prefilter is pure overhead.
+	w0 := w
+	w0.SingletonKmerFrac = 0
+	if got := Predict(cal, w0, on).Total(); got <= Predict(cal, w0, off).Total() {
+		t.Errorf("prefilter at g=0 predicted faster than exact: %v", got)
+	}
+}
+
+func TestPrefilterCrossover(t *testing.T) {
+	cal := Edison()
+	w := PaperWorkload("MM")
+	c := Cluster{P: 2, T: 24, S: 2}
+	g := PrefilterCrossover(cal, w, c)
+	if g <= 0 || g >= 1 {
+		t.Fatalf("crossover = %v, want interior point on a multi-node run", g)
+	}
+	// The crossover separates the regimes it claims to.
+	lo, hi := w, w
+	lo.SingletonKmerFrac = g / 2
+	hi.SingletonKmerFrac = (1 + g) / 2
+	on := c
+	on.PrefilterBits = 8
+	if Predict(cal, lo, on).Total() < Predict(cal, lo, c).Total() {
+		t.Errorf("below crossover (g=%v) the prefilter still wins", lo.SingletonKmerFrac)
+	}
+	if Predict(cal, hi, on).Total() >= Predict(cal, hi, c).Total() {
+		t.Errorf("above crossover (g=%v) the prefilter loses", hi.SingletonKmerFrac)
+	}
+
+	// At high task counts the combine — every rank's full ladder into rank
+	// 0 — grows with P while the per-task savings shrink with it, so the
+	// prefilter never pays at default sizing.
+	if g16 := PrefilterCrossover(cal, w, Cluster{P: 16, T: 24, S: 2}); g16 != 1 {
+		t.Errorf("P=16 crossover = %v, want 1 (combine swamps the savings)", g16)
+	}
+}
+
+func TestPrefilterBytesModel(t *testing.T) {
+	w := PaperWorkload("MM")
+	w.SingletonKmerFrac = 0.6
+	on := Cluster{P: 8, T: 24, S: 2, PrefilterBits: 8}
+	off := Cluster{P: 8, T: 24, S: 2}
+
+	if got, want := ExchangeWireBytes(w, on), ExchangeWireBytes(w, off); got >= want {
+		t.Errorf("wire bytes did not shrink: %d vs %d", got, want)
+	}
+	// Memory: the ladder is charged at bits-per-kmer while the tuple
+	// buffers shrink with the keep fraction. On a single wide task the
+	// 24-bytes-per-tuple buffers dominate the 1-byte-per-kmer ladder, so
+	// the net moves down; under a spill cap the buffers are already pinned
+	// at the budget and the ladder is a pure addition.
+	one := Cluster{P: 1, T: 24, S: 1}
+	onePF := one
+	onePF.PrefilterBits = 8
+	if got, want := MemoryPerTask(w, onePF), MemoryPerTask(w, one); got >= want {
+		t.Errorf("prefilter memory %d ≥ exact %d at g=0.6 on one task", got, want)
+	}
+	capped := one
+	capped.SpillBudgetBytes = 1 << 30
+	cappedPF := capped
+	cappedPF.PrefilterBits = 8
+	if got, want := MemoryPerTask(w, cappedPF), MemoryPerTask(w, capped)+cappedPF.prefilterBytes(w); got != want {
+		t.Errorf("capped memory %d, want budget-pinned buffers plus the ladder = %d", got, want)
+	}
+	// Spill: a budget the exact run exceeds but the gated run fits.
+	exactBytes := w.Tuples / 8 / 2 * int64(w.TupleBytes)
+	tight := off
+	tight.SpillBudgetBytes = exactBytes / 2
+	gated := tight
+	gated.PrefilterBits = 8
+	if SpillBytes(w, tight) == 0 {
+		t.Fatalf("fixture error: exact run does not spill")
+	}
+	if got, want := SpillBytes(w, gated), SpillBytes(w, tight); got >= want {
+		t.Errorf("spill bytes did not shrink: %d vs %d", got, want)
+	}
+}

@@ -1,0 +1,242 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// bloom.go implements the word-blocked Bloom filter and the repeat ladder
+// built from it.
+//
+// A blocked Bloom filter confines all of a key's probe bits to one 64-bit
+// word (selected by h1), so a membership query costs a single cache line:
+// the probe mask is assembled from 6-bit chunks of h2 and tested with one
+// AND. The false-positive rate for b probes at fill fraction f is ≈ f^b —
+// slightly worse than an unblocked filter of equal size, in exchange for
+// one memory access per query instead of b.
+
+// maxProbes bounds the per-word probe count: 8 chunks of 6 bits consume 48
+// of h2's 64 bits, and past 8 probes per word the blocked FP rate is
+// dominated by block collisions anyway.
+const maxProbes = 8
+
+// maxLadderLevels bounds RepeatFilter depth; the prefilter's MinCount knob
+// validates against the same limit.
+const maxLadderLevels = 8
+
+// probesFor derives the per-word probe count from a bits-per-key budget:
+// the classic k ≈ (m/n)·ln2 optimum rounded to b = bits/2, clamped to
+// [1, maxProbes].
+func probesFor(bitsPerKey int) int {
+	b := bitsPerKey / 2
+	if b < 1 {
+		b = 1
+	}
+	if b > maxProbes {
+		b = maxProbes
+	}
+	return b
+}
+
+// probeMask assembles a key's in-word probe bits from consecutive 6-bit
+// chunks of h2. Chunks may collide, so the mask carries between 1 and
+// probes set bits.
+func probeMask(h2 uint64, probes int) uint64 {
+	var m uint64
+	for i := 0; i < probes; i++ {
+		m |= 1 << ((h2 >> (6 * i)) & 63)
+	}
+	return m
+}
+
+// Bloom is a word-blocked Bloom filter. Add is safe for concurrent use
+// (one atomic OR per insert); Contains must not race with Add unless the
+// caller tolerates missing in-flight inserts.
+type Bloom struct {
+	words  []uint64
+	probes int
+}
+
+// NewBloom sizes a filter for the expected key count at the given
+// bits-per-key budget.
+func NewBloom(keys uint64, bitsPerKey int) *Bloom {
+	w := (keys*uint64(bitsPerKey) + 63) / 64
+	if w < 1 {
+		w = 1
+	}
+	return &Bloom{words: make([]uint64, w), probes: probesFor(bitsPerKey)}
+}
+
+// BloomFromWords wraps an existing bitmap — the receive side of a filter
+// broadcast — as a queryable Bloom. The words are aliased, not copied.
+func BloomFromWords(words []uint64, probes int) *Bloom {
+	return &Bloom{words: words, probes: probes}
+}
+
+// Add inserts the key with hash pair (h1, h2).
+func (b *Bloom) Add(h1, h2 uint64) {
+	w := reduce(h1, uint64(len(b.words)))
+	atomic.OrUint64(&b.words[w], probeMask(h2, b.probes))
+}
+
+// Contains reports whether the key may have been added. False positives
+// occur at roughly FillFraction^probes; false negatives never.
+func (b *Bloom) Contains(h1, h2 uint64) bool {
+	m := probeMask(h2, b.probes)
+	return b.words[reduce(h1, uint64(len(b.words)))]&m == m
+}
+
+// Words exposes the underlying bitmap for transport (read-only by
+// convention).
+func (b *Bloom) Words() []uint64 { return b.words }
+
+// Probes returns the per-word probe count queries use.
+func (b *Bloom) Probes() int { return b.probes }
+
+// SizeBytes is the bitmap's memory footprint.
+func (b *Bloom) SizeBytes() int64 { return int64(len(b.words)) * 8 }
+
+// FillFraction is the fraction of set bits.
+func (b *Bloom) FillFraction() float64 {
+	var ones int
+	for _, w := range b.words {
+		ones += bits.OnesCount64(w)
+	}
+	return float64(ones) / float64(len(b.words)*64)
+}
+
+// EstFPRate estimates the false-positive probability of Contains from the
+// current fill: every one of the (up to) probes bits must be set, and in a
+// blocked filter each is an independent draw from the same word population.
+func (b *Bloom) EstFPRate() float64 {
+	return math.Pow(b.FillFraction(), float64(b.probes))
+}
+
+// RepeatFilter answers "was this key seen at least MinCount times?" with
+// one-sided error: a ladder of MinCount blocked Bloom levels where an
+// insert sets the key's probe bits in the first level that does not already
+// contain them. After n inserts of a key, levels 1..min(n, MinCount)
+// contain it, so level MinCount is the "seen ≥ MinCount times" set. False
+// positives only promote keys (they are kept when they could have been
+// dropped — the safe direction); false negatives cannot occur, even under
+// concurrent inserts: the atomic OR returns the pre-update word, so among
+// racing inserts of the same key exactly one observes each level as new.
+//
+// Per-rank filters combine exactly (modulo Bloom FPs): with n_r local
+// occurrences on rank r, level i of rank r holds the key iff n_r ≥ i, and
+// Σ_r min(n_r, L) ≥ L ⟺ Σ_r n_r ≥ L — the max-plus convolution Merge
+// computes per bit position, after Normalize makes each rank's per-bit
+// level sequence monotone.
+type RepeatFilter struct {
+	minCount int
+	probes   int
+	nwords   uint64
+	// levels[i][w]: word w of the "seen ≥ i+1 times" bitmap.
+	levels [][]uint64
+	// landed[i] counts inserts that found level i new — landed[0]−landed[1]
+	// estimates the keys seen exactly once locally.
+	landed []atomic.Uint64
+}
+
+// NewRepeatFilter sizes a ladder for the expected distinct-key count: the
+// total bits-per-key budget is split evenly across the minCount levels.
+func NewRepeatFilter(keys uint64, bitsPerKey, minCount int) *RepeatFilter {
+	if minCount < 2 {
+		minCount = 2
+	}
+	if minCount > maxLadderLevels {
+		minCount = maxLadderLevels
+	}
+	w := (keys*uint64(bitsPerKey) + 63) / 64 / uint64(minCount)
+	if w < 1 {
+		w = 1
+	}
+	f := &RepeatFilter{
+		minCount: minCount,
+		probes:   probesFor(bitsPerKey),
+		nwords:   w,
+		levels:   make([][]uint64, minCount),
+		landed:   make([]atomic.Uint64, minCount),
+	}
+	for i := range f.levels {
+		f.levels[i] = make([]uint64, w)
+	}
+	return f
+}
+
+// Insert records one occurrence of the key. Safe for concurrent use.
+func (f *RepeatFilter) Insert(h1, h2 uint64) {
+	w := reduce(h1, f.nwords)
+	m := probeMask(h2, f.probes)
+	for i := 0; i < f.minCount; i++ {
+		if old := atomic.OrUint64(&f.levels[i][w], m); old&m != m {
+			f.landed[i].Add(1)
+			return
+		}
+	}
+}
+
+// Landed returns how many inserts found level i (0-based) new — an
+// FP-deflated count of keys with local multiplicity > i.
+func (f *RepeatFilter) Landed(i int) uint64 { return f.landed[i].Load() }
+
+// MinCount returns the ladder depth L.
+func (f *RepeatFilter) MinCount() int { return f.minCount }
+
+// Probes returns the per-word probe count, needed to reconstruct a
+// queryable Bloom from transported words.
+func (f *RepeatFilter) Probes() int { return f.probes }
+
+// SizeBytes is the ladder's total bitmap footprint.
+func (f *RepeatFilter) SizeBytes() int64 {
+	return int64(f.minCount) * int64(f.nwords) * 8
+}
+
+// Normalize makes the per-bit level sequence monotone (bit set in level i
+// ⇒ set in every level below) by ANDing each level with its predecessor.
+// This is sound per key — a key's own probe bits are set in a prefix of the
+// levels by construction — and it is what Merge's convolution requires.
+// Call once after all inserts, before Merge or Keep.
+func (f *RepeatFilter) Normalize() {
+	for i := 1; i < f.minCount; i++ {
+		prev, cur := f.levels[i-1], f.levels[i]
+		for w := range cur {
+			cur[w] &= prev[w]
+		}
+	}
+}
+
+// Merge folds another rank's normalized ladder into this one: per bit
+// position the level sequences behave like saturating counters, and the
+// combined count is their sum, computed as a max-plus convolution
+// R_i = OR over p+q=i of A_p & B_q (with A_0 = B_0 = all-ones). Merge is
+// associative and commutative, so any fold order over ranks agrees. Both
+// ladders must be Normalized and identically sized; src is not modified.
+func (f *RepeatFilter) Merge(src [][]uint64) {
+	L := f.minCount
+	var out [maxLadderLevels]uint64
+	for w := uint64(0); w < f.nwords; w++ {
+		for i := 1; i <= L; i++ {
+			r := f.levels[i-1][w] | src[i-1][w]
+			for p := 1; p < i; p++ {
+				r |= f.levels[p-1][w] & src[i-p-1][w]
+			}
+			out[i-1] = r
+		}
+		for i := 0; i < L; i++ {
+			f.levels[i][w] = out[i]
+		}
+	}
+}
+
+// Levels exposes the raw level bitmaps for transport (read-only by
+// convention).
+func (f *RepeatFilter) Levels() [][]uint64 { return f.levels }
+
+// Keep returns the top level — the "seen ≥ MinCount times" set — as a
+// queryable Bloom, aliasing the ladder's words. Valid after Normalize (and
+// any Merges).
+func (f *RepeatFilter) Keep() *Bloom {
+	return &Bloom{words: f.levels[f.minCount-1], probes: f.probes}
+}

@@ -1,0 +1,250 @@
+package sketch
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBloomNoFalseNegatives pins the filter's one-sided error: every added
+// key must be reported present.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(10_000, 8)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([][2]uint64, 10_000)
+	for i := range keys {
+		keys[i] = [2]uint64{rng.Uint64(), rng.Uint64()}
+		h1, h2 := Hash(keys[i][0], keys[i][1])
+		b.Add(h1, h2)
+	}
+	for i, k := range keys {
+		h1, h2 := Hash(k[0], k[1])
+		if !b.Contains(h1, h2) {
+			t.Fatalf("key %d missing: false negative", i)
+		}
+	}
+}
+
+// TestBloomFPRate checks the measured false-positive rate against the
+// f^probes estimate within a loose factor — the sizing math the prefilter's
+// est_fp_rate counter relies on.
+func TestBloomFPRate(t *testing.T) {
+	b := NewBloom(50_000, 8)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50_000; i++ {
+		h1, h2 := Hash(0, rng.Uint64())
+		b.Add(h1, h2)
+	}
+	probes := 200_000
+	fp := 0
+	for i := 0; i < probes; i++ {
+		h1, h2 := Hash(1, rng.Uint64()) // disjoint key space
+		if b.Contains(h1, h2) {
+			fp++
+		}
+	}
+	measured := float64(fp) / float64(probes)
+	est := b.EstFPRate()
+	if measured > 4*est+0.01 {
+		t.Fatalf("measured FP rate %.4f far above estimate %.4f", measured, est)
+	}
+	if est > 0.2 {
+		t.Fatalf("estimate %.4f implausibly high at 8 bits/key", est)
+	}
+}
+
+// TestRepeatFilterLadder pins the core ladder property: after n inserts of
+// a key, Keep (the top level) contains it iff n ≥ MinCount — with false
+// positives allowed only in the keep direction.
+func TestRepeatFilterLadder(t *testing.T) {
+	const n = 5000
+	f := NewRepeatFilter(3*n, 12, 2)
+	rng := rand.New(rand.NewSource(3))
+	once := make([][2]uint64, n)
+	twice := make([][2]uint64, n)
+	for i := 0; i < n; i++ {
+		once[i] = [2]uint64{0, rng.Uint64()}
+		twice[i] = [2]uint64{0, rng.Uint64()}
+		h1, h2 := Hash(once[i][0], once[i][1])
+		f.Insert(h1, h2)
+		h1, h2 = Hash(twice[i][0], twice[i][1])
+		f.Insert(h1, h2)
+		f.Insert(h1, h2)
+	}
+	// Level-0 FPs can make a first insert climb, so the landing count is
+	// FP-deflated — but never inflated.
+	if got := f.Landed(0); got > 2*n || got < 2*n*95/100 {
+		t.Fatalf("landed level 0 = %d, want ≈%d (first inserts land modulo FPs)", got, 2*n)
+	}
+	f.Normalize()
+	keep := f.Keep()
+	for i, k := range twice {
+		h1, h2 := Hash(k[0], k[1])
+		if !keep.Contains(h1, h2) {
+			t.Fatalf("repeated key %d not in keep set: false negative", i)
+		}
+	}
+	kept := 0
+	for _, k := range once {
+		h1, h2 := Hash(k[0], k[1])
+		if keep.Contains(h1, h2) {
+			kept++
+		}
+	}
+	// FPs may keep some singletons; at 12 bits/key most must be dropped.
+	if kept > n/4 {
+		t.Fatalf("%d/%d singletons survive the filter — FP rate implausible", kept, n)
+	}
+	// The singleton estimate tracks the true count (FPs deflate it only).
+	est := f.Landed(0) - f.Landed(1)
+	if est > uint64(n) || est < uint64(n)*9/10 {
+		t.Fatalf("singleton estimate %d, true %d", est, n)
+	}
+}
+
+// TestRepeatFilterInsertRace exercises concurrent inserts of overlapping
+// key sets under -race: the atomic OR must keep the ladder free of false
+// negatives regardless of interleaving.
+func TestRepeatFilterInsertRace(t *testing.T) {
+	const n = 2000
+	f := NewRepeatFilter(n, 8, 2)
+	keys := make([][2]uint64, n)
+	rng := rand.New(rand.NewSource(4))
+	for i := range keys {
+		keys[i] = [2]uint64{rng.Uint64(), rng.Uint64()}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, k := range keys {
+				h1, h2 := Hash(k[0], k[1])
+				f.Insert(h1, h2)
+			}
+		}()
+	}
+	wg.Wait()
+	f.Normalize()
+	keep := f.Keep()
+	for i, k := range keys {
+		h1, h2 := Hash(k[0], k[1])
+		if !keep.Contains(h1, h2) {
+			t.Fatalf("key %d inserted 4× missing from keep set", i)
+		}
+	}
+}
+
+// TestRepeatFilterMerge checks the cross-rank combine against a brute-force
+// count: keys are scattered across simulated ranks with known per-rank
+// multiplicities, and the merged keep set must contain exactly the keys
+// whose global count reaches MinCount (plus FPs, in the keep direction
+// only).
+func TestRepeatFilterMerge(t *testing.T) {
+	for _, minCount := range []int{2, 3, 4} {
+		const ranks = 3
+		const n = 3000
+		fs := make([]*RepeatFilter, ranks)
+		for r := range fs {
+			fs[r] = NewRepeatFilter(n, 16, minCount)
+		}
+		rng := rand.New(rand.NewSource(int64(5 + minCount)))
+		type key struct {
+			hi, lo uint64
+			total  int
+		}
+		keys := make([]key, n)
+		for i := range keys {
+			k := key{hi: 0, lo: rng.Uint64()}
+			h1, h2 := Hash(k.hi, k.lo)
+			// Scatter a random multiplicity across ranks.
+			for r := 0; r < ranks; r++ {
+				c := rng.Intn(minCount) // 0..minCount-1: no rank alone decides
+				k.total += c
+				for j := 0; j < c; j++ {
+					fs[r].Insert(h1, h2)
+				}
+			}
+			keys[i] = k
+		}
+		for r := range fs {
+			fs[r].Normalize()
+		}
+		for r := 1; r < ranks; r++ {
+			fs[0].Merge(fs[r].Levels())
+		}
+		keep := fs[0].Keep()
+		fp := 0
+		for i, k := range keys {
+			h1, h2 := Hash(k.hi, k.lo)
+			in := keep.Contains(h1, h2)
+			if k.total >= minCount && !in {
+				t.Fatalf("minCount=%d key %d with global count %d missing from merged keep set",
+					minCount, i, k.total)
+			}
+			if k.total < minCount && in {
+				fp++
+			}
+		}
+		if fp > n/5 {
+			t.Fatalf("minCount=%d: %d/%d below-threshold keys kept — merge inflates too much",
+				minCount, fp, n)
+		}
+	}
+}
+
+// TestCountMinConservative pins the count–min invariants: estimates never
+// undercount, and with a roomy sketch they are exact.
+func TestCountMinConservative(t *testing.T) {
+	cm := NewCountMin(1<<16, 4)
+	rng := rand.New(rand.NewSource(6))
+	truth := make(map[uint64]int)
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	for i := 0; i < 20_000; i++ {
+		k := keys[rng.Intn(len(keys))]
+		truth[k]++
+		h1, h2 := Hash(0, k)
+		cm.Add(h1, h2)
+	}
+	for k, want := range truth {
+		h1, h2 := Hash(0, k)
+		got := int(cm.Estimate(h1, h2))
+		capped := want
+		if capped > 255 {
+			capped = 255
+		}
+		if got < capped {
+			t.Fatalf("key %x undercounted: got %d, true %d", k, got, want)
+		}
+		if got != capped {
+			t.Fatalf("key %x overcounted in a roomy sketch: got %d, true %d", k, got, want)
+		}
+	}
+}
+
+// TestCountMinSaturates pins the 8-bit ceiling.
+func TestCountMinSaturates(t *testing.T) {
+	cm := NewCountMin(64, 2)
+	h1, h2 := Hash(0, 42)
+	for i := 0; i < 300; i++ {
+		cm.Add(h1, h2)
+	}
+	if got := cm.Estimate(h1, h2); got != 255 {
+		t.Fatalf("estimate %d after 300 adds, want saturation at 255", got)
+	}
+}
+
+// TestHashStrideOdd pins the double-hashing precondition: h2 is always odd,
+// so h1 + i·h2 cycles through distinct positions.
+func TestHashStrideOdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		_, h2 := Hash(rng.Uint64(), rng.Uint64())
+		if h2&1 == 0 {
+			t.Fatalf("h2 %x is even", h2)
+		}
+	}
+}
