@@ -69,6 +69,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "artifact":
 		err = cmdArtifact(os.Args[2:])
+	case "lookup":
+		err = cmdLookup(os.Args[2:])
 	case "checktrace":
 		err = cmdCheckTrace(os.Args[2:])
 	case "drift":
@@ -103,6 +105,8 @@ func usage() {
   metaprep stats      -index FILE
   metaprep artifact   info [-verify] FILE
   metaprep artifact   union|intersect|diff -out FILE artifact...
+  metaprep lookup     build -out FILE [-shards N] artifact.mpa
+  metaprep lookup     query -lookup FILE [-siblings] kmer|sequence...
   metaprep checktrace -trace FILE [-metrics FILE] [-tol 0.01]
   metaprep drift      [-trajectory results/trajectory.jsonl] [-last N] [-warn 2.0]
   metaprep normalize  [-k 20] [-target 20] [-paired] -out FILE fastq...

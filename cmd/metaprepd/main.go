@@ -22,6 +22,14 @@
 // /artifacts lists the store and GET /jobs/{id}/artifact streams a job's
 // artifact bytes.
 //
+// With -serve-artifact and/or -serve-key the daemon also runs the
+// high-QPS query tier: POST /query answers batches of k-mers or raw
+// sequences with component labels from a memory-mapped sharded lookup
+// built out of a partition artifact, and every artifact the store commits
+// under the followed key is rebuilt and hot-swapped in without dropping
+// in-flight queries (-serve-key auto adopts the first committed
+// partition). Query latency exports as metaprepd_query_seconds.
+//
 // Every job runs with a bounded flight recorder; -trace-dir and -trace-slo
 // dump a failing or slow job's trace automatically, and -trajectory
 // appends each completed job's perf record (with its model-drift report)
@@ -45,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -114,6 +123,11 @@ func run(args []string, sigc chan os.Signal) error {
 	prefilterBits := fs.Int("prefilter-bits", 0, "apply the two-pass Bloom singleton prefilter at this many bits per k-mer to every job that doesn't set its own prefilter_bits_per_kmer (0 = off)")
 	prefilterMin := fs.Int("prefilter-min", 0, "default prefilter count threshold (0 = the lossless default of 2; only meaningful with -prefilter-bits)")
 	driftCal := fs.String("drift-cal", "", "model calibration for the per-job drift report: edison (default), ganga, or off")
+	serveArtifact := fs.String("serve-artifact", "", "partition artifact (.mpa) or prebuilt lookup (.mplk) to serve on POST /query from startup (empty = serve nothing until -serve-key matches a commit)")
+	serveKey := fs.String("serve-key", "", "artifact-store name to follow for query hot-swap: every commit under this name rebuilds and atomically swaps the served lookup; 'auto' adopts the first committed partition artifact (empty disables the query tier unless -serve-artifact is set)")
+	serveShards := fs.Int("serve-shards", 0, "lookup shard count for query parallelism (0 = default)")
+	queryMaxBatch := fs.Int("query-max-batch", 4096, "max items (k-mers + sequences) per /query request")
+	queryConcurrency := fs.Int("query-concurrency", 64, "max /query requests in flight; excess is rejected 429")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,9 +164,40 @@ func run(args []string, sigc chan os.Signal) error {
 		}
 	}
 
+	// Query tier: serve component-label lookups on POST /query, hot-swapping
+	// to newer artifacts the store commits under the followed key. Created
+	// before the manager so artifact commits can be observed from the first
+	// job on.
+	var tier *server.QueryTier
+	if *serveArtifact != "" || *serveKey != "" {
+		lkDir := filepath.Join(os.TempDir(), fmt.Sprintf("metaprepd-lookups-%d", os.Getpid()))
+		if *artifactDir != "" {
+			lkDir = filepath.Join(*artifactDir, "lookups")
+		} else {
+			defer os.RemoveAll(lkDir)
+		}
+		tier, err = server.NewQueryTier(server.QueryOptions{
+			Dir:           lkDir,
+			Artifact:      *serveArtifact,
+			Key:           *serveKey,
+			Shards:        *serveShards,
+			MaxBatch:      *queryMaxBatch,
+			MaxConcurrent: *queryConcurrency,
+			Logger:        lg,
+		})
+		if err != nil {
+			return fmt.Errorf("query tier: %w", err)
+		}
+		defer tier.Close()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	var onCommit func(name, path string)
+	if tier != nil {
+		onCommit = tier.ArtifactCommitted
 	}
 	mgr := jobs.NewManager(jobs.Options{
 		Workers:             *workers,
@@ -168,6 +213,7 @@ func run(args []string, sigc chan os.Signal) error {
 		TraceSLO:            *traceSLO,
 		Trajectory:          *trajectory,
 		DriftCal:            *driftCal,
+		OnArtifactCommit:    onCommit,
 		Logger:              lg,
 	})
 	srv := server.New(mgr, server.Options{
@@ -176,6 +222,7 @@ func run(args []string, sigc chan os.Signal) error {
 		DefaultPrefilterBits:     *prefilterBits,
 		DefaultPrefilterMinCount: *prefilterMin,
 		Logger:                   lg,
+		Query:                    tier,
 	})
 	httpSrv := &http.Server{Handler: srv}
 

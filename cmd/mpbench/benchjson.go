@@ -25,6 +25,10 @@ type benchDoc struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler's P count at emit time — the actual
+	// parallelism benchmarks ran with, which NumCPU alone misstates under
+	// cgroup CPU quotas or an explicit GOMAXPROCS override.
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// Rows carry the experiment's measurements, one object per table row.
 	Rows any `json:"rows"`
 }
@@ -43,14 +47,15 @@ func (e *env) emitBench(name string, t *stats.Table, rows any) error {
 		return err
 	}
 	doc := benchDoc{
-		Name:      name,
-		Scale:     e.scale,
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Rows:      rows,
+		Name:       name,
+		Scale:      e.scale,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rows:       rows,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"metaprep/internal/stats"
+)
+
+// TestEmitBenchProvenance pins the BENCH_*.json envelope: every emitted
+// document carries the machine provenance (Go version, CPU count,
+// GOMAXPROCS) that makes trajectories comparable across machines, plus the
+// experiment's rows verbatim.
+func TestEmitBenchProvenance(t *testing.T) {
+	dir := t.TempDir()
+	e := newEnv(t.TempDir(), 0.5)
+	e.benchDir = dir
+
+	type row struct {
+		X int     `json:"x"`
+		Y float64 `json:"y"`
+	}
+	tbl := stats.NewTable("X", "Y")
+	tbl.AddRow(1, 2.5)
+	if err := e.emitBench("provtest", tbl, []row{{X: 1, Y: 2.5}}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_provtest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name       string  `json:"name"`
+		Scale      float64 `json:"scale"`
+		CreatedAt  string  `json:"created_at"`
+		GoVersion  string  `json:"go_version"`
+		GOOS       string  `json:"goos"`
+		GOARCH     string  `json:"goarch"`
+		NumCPU     int     `json:"num_cpu"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		Rows       []row   `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "provtest" || doc.Scale != 0.5 || doc.CreatedAt == "" {
+		t.Fatalf("envelope header wrong: %+v", doc)
+	}
+	if doc.GoVersion != runtime.Version() || doc.GOOS != runtime.GOOS || doc.GOARCH != runtime.GOARCH {
+		t.Fatalf("toolchain provenance wrong: %+v", doc)
+	}
+	if doc.NumCPU != runtime.NumCPU() || doc.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("CPU provenance wrong: NumCPU=%d GOMAXPROCS=%d, want %d/%d",
+			doc.NumCPU, doc.GOMAXPROCS, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	if len(doc.Rows) != 1 || doc.Rows[0] != (row{X: 1, Y: 2.5}) {
+		t.Fatalf("rows not preserved: %+v", doc.Rows)
+	}
+}

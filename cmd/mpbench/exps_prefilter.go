@@ -134,9 +134,10 @@ func expPrefilter(e *env) error {
 	}
 
 	// The model's view at paper scale: the singleton fraction above which
-	// the second scan pays off, per cluster width. The combine — every
-	// rank's full ladder into rank 0 — grows with P, so the crossover
-	// climbs until the prefilter stops paying at all (g* = 1).
+	// the second scan pays off, per cluster width. The sub-range combine
+	// keeps per-rank wire volume ~flat in P, but the per-task exchange and
+	// sort savings shrink as 1/P, so the crossover still climbs until the
+	// prefilter stops paying (g* = 1) — now at P=16 instead of P=8.
 	cal := metaprep.EdisonCalibration()
 	mt := stats.NewTable("Model (IS, T=24, S=2)", "P=2", "P=4", "P=8", "P=16")
 	w := metaprep.PaperWorkload("IS")

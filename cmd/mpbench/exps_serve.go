@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"metaprep"
+	"metaprep/internal/artifact"
+	"metaprep/internal/jobs"
+	"metaprep/internal/kmer"
+	"metaprep/internal/server"
+	"metaprep/internal/stats"
+)
+
+// serveRow is one BENCH_serve.json measurement: a closed-loop load point at
+// one batch size × concurrency, with every sampled response cross-checked
+// against labels read directly through artifact.Reader.
+type serveRow struct {
+	Batch int `json:"batch"`
+	Conc  int `json:"conc"`
+	// Requests/Kmers are totals over the measurement window.
+	Requests int     `json:"requests"`
+	Kmers    int64   `json:"kmers"`
+	QPS      float64 `json:"qps"`
+	KmersSec float64 `json:"kmers_per_sec"`
+	P50Us    float64 `json:"p50_us"`
+	P99Us    float64 `json:"p99_us"`
+	// Mismatches counts responses whose label differed from the artifact's
+	// (or k-mers wrongly reported missing) — must be 0.
+	Mismatches int64 `json:"mismatches"`
+	// ModelQPS is the §3.7-style capacity prediction for this point.
+	ModelQPS float64 `json:"model_qps"`
+}
+
+// expServe drives the metaprepd query tier with a closed-loop load
+// generator sweeping batch size × concurrency. By default it partitions a
+// dataset, persists the artifact and stands the tier up in-process; set
+// MPBENCH_SERVE_URL (and MPBENCH_SERVE_ARTIFACT naming the artifact that
+// daemon serves) to aim the same generator at an external metaprepd. Every
+// response label is verified against the artifact's own label map, so a
+// nonzero Mismatches column is a correctness failure, not noise.
+func expServe(e *env) error {
+	artPath := os.Getenv("MPBENCH_SERVE_ARTIFACT")
+	target := os.Getenv("MPBENCH_SERVE_URL")
+	if (artPath == "") != (target == "") {
+		return fmt.Errorf("serve: MPBENCH_SERVE_URL and MPBENCH_SERVE_ARTIFACT must be set together")
+	}
+
+	if artPath == "" {
+		idx, _, err := e.index("HG", 27)
+		if err != nil {
+			return err
+		}
+		dir := e.runDir("serve")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		artPath = filepath.Join(dir, "serve.mpa")
+		cfg := metaprep.DefaultConfig(idx)
+		cfg.Tasks = 2
+		cfg.Threads = 2
+		cfg.ArtifactOut = artPath
+		if _, err := metaprep.Partition(cfg); err != nil {
+			return err
+		}
+		tier, err := server.NewQueryTier(server.QueryOptions{
+			Dir:      filepath.Join(dir, "lookups"),
+			Artifact: artPath,
+		})
+		if err != nil {
+			return err
+		}
+		defer tier.Close()
+		mgr := jobs.NewManager(jobs.Options{Workers: 1})
+		defer mgr.Stop()
+		srv := httptest.NewServer(server.New(mgr, server.Options{Query: tier}))
+		defer srv.Close()
+		target = srv.URL
+	}
+
+	// Reference answers straight from the artifact: key → label of the
+	// first tuple in its run (the lookup's dedup rule), and the k-mer
+	// strings the generator will POST.
+	kms, refLabels, keys, err := serveReference(artPath)
+	if err != nil {
+		return err
+	}
+
+	cal := e.calibration()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	t := stats.NewTable("Batch", "Conc", "Reqs", "QPS", "p50(µs)", "p99(µs)", "Model QPS", "Mismatch")
+	var rows []serveRow
+	window := 250 * time.Millisecond
+	for _, batch := range []int{16, 256} {
+		for _, conc := range []int{1, 4, 16} {
+			row, err := driveServe(target, client, kms, refLabels, batch, conc, window)
+			if err != nil {
+				return err
+			}
+			row.ModelQPS = metaprep.PredictServeQPS(cal, conc, keys, batch)
+			rows = append(rows, row)
+			t.AddRow(row.Batch, row.Conc, row.Requests,
+				fmt.Sprintf("%.0f", row.QPS),
+				fmt.Sprintf("%.0f", row.P50Us), fmt.Sprintf("%.0f", row.P99Us),
+				fmt.Sprintf("%.0f", row.ModelQPS), row.Mismatches)
+		}
+	}
+	return e.emitBench("serve", t, rows)
+}
+
+// serveReference reads the artifact's deduplicated (k-mer, label) pairs.
+func serveReference(path string) (kms []string, labels []uint32, keys uint64, err error) {
+	ar, err := artifact.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer ar.Close()
+	labelMap, err := ar.Labels()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	st, err := ar.Kmers()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	k := ar.Meta().K
+	wide := ar.Meta().Wide
+	var prevHi, prevLo uint64
+	first := true
+	for {
+		hi, lo, val, ok, err := st.Next()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		if !first && hi == prevHi && lo == prevLo {
+			continue
+		}
+		first = false
+		prevHi, prevLo = hi, lo
+		if wide {
+			kms = append(kms, kmer.String128(kmer.Kmer128{Hi: hi, Lo: lo}, k))
+		} else {
+			kms = append(kms, kmer.String64(kmer.Kmer64(lo), k))
+		}
+		labels = append(labels, labelMap[val])
+	}
+	if len(kms) == 0 {
+		return nil, nil, 0, fmt.Errorf("%s: artifact has no k-mers", path)
+	}
+	return kms, labels, uint64(len(kms)), nil
+}
+
+// driveServe runs one closed-loop load point: conc workers each keep
+// exactly one request in flight for the window, batches drawn uniformly
+// from the reference set, every response verified.
+func driveServe(target string, client *http.Client, kms []string, refLabels []uint32, batch, conc int, window time.Duration) (serveRow, error) {
+	type workerOut struct {
+		lats    []float64 // µs
+		reqs    int
+		kmers   int64
+		mism    int64
+		lastErr error
+	}
+	outs := make([]workerOut, conc)
+	deadline := time.Now().Add(window)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < conc; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			o := &outs[wkr]
+			rng := rand.New(rand.NewSource(int64(1000*batch + wkr)))
+			idx := make([]int, batch)
+			req := server.QueryRequest{Kmers: make([]string, batch)}
+			for time.Now().Before(deadline) {
+				for i := range idx {
+					idx[i] = rng.Intn(len(kms))
+					req.Kmers[i] = kms[idx[i]]
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					o.lastErr = err
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(target+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					o.lastErr = err
+					return
+				}
+				var qr server.QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				lat := time.Since(t0)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					o.lastErr = fmt.Errorf("POST /query: status %d, err %v", resp.StatusCode, err)
+					return
+				}
+				o.lats = append(o.lats, float64(lat.Nanoseconds())/1e3)
+				o.reqs++
+				o.kmers += int64(batch)
+				for i, a := range qr.Kmers {
+					if !a.Found || a.Label != refLabels[idx[i]] {
+						o.mism++
+					}
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	row := serveRow{Batch: batch, Conc: conc}
+	var lats []float64
+	for i := range outs {
+		if outs[i].lastErr != nil {
+			return row, outs[i].lastErr
+		}
+		row.Requests += outs[i].reqs
+		row.Kmers += outs[i].kmers
+		row.Mismatches += outs[i].mism
+		lats = append(lats, outs[i].lats...)
+	}
+	if row.Requests == 0 {
+		return row, fmt.Errorf("serve: no request completed within the window")
+	}
+	sort.Float64s(lats)
+	row.QPS = float64(row.Requests) / elapsed
+	row.KmersSec = float64(row.Kmers) / elapsed
+	row.P50Us = lats[len(lats)/2]
+	row.P99Us = lats[min(len(lats)-1, len(lats)*99/100)]
+	return row, nil
+}

@@ -11,7 +11,7 @@
 //
 // Experiments: tab2 fig5 fig6 fig7 fig8 tab3 fig9 sort tab4 tab5 tab6 tab7
 // tab8 tab9 purity ablate exchange extsort artifact prefilter backhalf
-// pipeline stream calib.
+// pipeline serve stream calib.
 package main
 
 import (
@@ -51,6 +51,7 @@ func experiments() []experiment {
 		{"prefilter", "extension: Bloom singleton prefilter (bits sweep, purity vs exact, wire cut)", expPrefilter},
 		{"backhalf", "extension: delta tree merge, broadcast schedule, overlapped CC-I/O", expBackHalf},
 		{"pipeline", "observability: per-step latency and model drift under the flight recorder", expPipeline},
+		{"serve", "extension: query-tier closed-loop load (batch × concurrency, verified responses)", expServe},
 		{"stream", "STREAM Triad memory bandwidth", expStream},
 		{"calib", "host calibration constants", expCalib},
 	}

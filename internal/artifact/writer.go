@@ -31,13 +31,13 @@ type Writer struct {
 	off  int64
 	err  error
 
-	crc     uint32 // running CRC of the open section
-	curID   uint8
-	curOff  int64
-	curFl   uint8
-	open    bool
-	toc     []tocEntry
-	done    bool
+	crc    uint32 // running CRC of the open section
+	curID  uint8
+	curOff int64
+	curFl  uint8
+	open   bool
+	toc    []tocEntry
+	done   bool
 
 	// Tuple-at-a-time k-mer buffering.
 	wide        bool

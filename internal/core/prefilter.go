@@ -54,8 +54,9 @@ import (
 
 // Prefilter message tags, below tagDelta's band (see pipeline.go).
 const (
-	tagPrefilter      = 3 // ladder gather (every rank → rank 0)
+	tagPrefilter      = 3 // sub-range ladder all-to-all (rank r's slice of dst's owned words)
 	tagPrefilterBcast = 4 // keep-bitmap broadcast (rank 0 → every rank)
+	tagPrefilterKeep  = 5 // merged keep sub-range gather (every rank → rank 0)
 )
 
 // buildPrefilter runs pass 1: scan, combine, broadcast. On return st.keep
@@ -92,22 +93,51 @@ func (st *taskState) buildPrefilter() error {
 	st.obs.RecordSpan(st.rank, obsv.TidSteps, "detail", "prefilter-scan",
 		build0, time.Since(build0), nil)
 
-	// Combine: gather every ladder at rank 0, merge exactly, broadcast the
-	// top level. The ladders alias no mutable state after this point, so
-	// the in-process zero-copy transport is safe — every rank ends up
-	// querying the same (possibly shared) words.
+	// Combine by owned sub-range: the ladder's word space [0, nwords) is
+	// split into P contiguous ranges, and the all-to-all ships each rank
+	// only the slice of every peer's ladder covering the words it owns —
+	// L·filterBytes/P per peer instead of the full ladder, so per-rank
+	// combine wire volume stays ~filterBytes as P grows rather than the
+	// old (P−1)·filterBytes inbound at rank 0. Each owner MergeRanges its
+	// slice of all P ladders (bit-identical to a full-ladder fold — the
+	// convolution is per-word), then rank 0 gathers the merged keep
+	// sub-ranges (filterBytes/L/P each) and broadcasts the assembled
+	// bitmap. Zero-copy safety: a rank only mutates words in its own
+	// range, while every slice it sent covers other ranks' ranges.
 	c0 := time.Now()
 	f.Normalize()
-	if st.rank == 0 {
-		for src := 1; src < P; src++ {
-			f.Merge(st.t.Recv(src, tagPrefilter).([][]uint64))
-		}
-	} else {
-		st.t.Send(0, tagPrefilter, f.Levels(), int(f.SizeBytes()))
+	nw := f.NWords()
+	cut := func(r int) uint64 { return nw * uint64(r) / uint64(P) }
+	myLo, myHi := cut(st.rank), cut(st.rank+1)
+	if P > 1 {
+		lv := f.Levels()
+		st.t.AllToAll(tagPrefilter,
+			func(dst int) (any, int) {
+				lo, hi := cut(dst), cut(dst+1)
+				sub := make([][]uint64, len(lv))
+				for i := range lv {
+					sub[i] = lv[i][lo:hi]
+				}
+				return sub, int(hi-lo) * 8 * len(lv)
+			},
+			func(src int, payload any) {
+				if src == st.rank {
+					return // stage 0 self-exchange: already our own words
+				}
+				f.MergeRange(payload.([][]uint64), myLo, myHi)
+			},
+		)
 	}
+	keepWords := f.Keep().Words()
 	var words []uint64
 	if st.rank == 0 {
-		words = f.Keep().Words()
+		for src := 1; src < P; src++ {
+			lo, hi := cut(src), cut(src+1)
+			copy(keepWords[lo:hi], st.t.Recv(src, tagPrefilterKeep).([]uint64))
+		}
+		words = keepWords
+	} else {
+		st.t.Send(0, tagPrefilterKeep, keepWords[myLo:myHi], int(myHi-myLo)*8)
 	}
 	// Non-root ranks receive first, then relay the stored payload to their
 	// subtree — the send closure must serve the received words.

@@ -147,10 +147,14 @@ func (s *artifactStore) evictLocked(keep string) {
 type ArtifactEntry struct {
 	// Name is the store-relative file name (the content key for partition
 	// entries, "i-<jobID>.mpa" for incremental ones).
-	Name    string    `json:"name"`
-	Path    string    `json:"-"`
-	Bytes   int64     `json:"bytes"`
-	ModTime time.Time `json:"mtime"`
+	Name  string `json:"name"`
+	Path  string `json:"-"`
+	Bytes int64  `json:"bytes"`
+	// ModTime is the LRU recency clock (bumped on every cache hit);
+	// LastAccess is the file's access time — the same clock where the
+	// filesystem records atime, ModTime where it does not (noatime).
+	ModTime    time.Time `json:"mtime"`
+	LastAccess time.Time `json:"last_access"`
 }
 
 func (s *artifactStore) listLocked() []ArtifactEntry {
@@ -171,17 +175,24 @@ func (s *artifactStore) listLocked() []ArtifactEntry {
 		out = append(out, ArtifactEntry{
 			Name: name, Path: filepath.Join(s.dir, name),
 			Bytes: fi.Size(), ModTime: fi.ModTime(),
+			LastAccess: atime(fi),
 		})
 	}
 	return out
 }
 
-// list snapshots the store, newest first.
+// list snapshots the store, newest first; equal timestamps break on name
+// so the listing is deterministic.
 func (s *artifactStore) list() []ArtifactEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := s.listLocked()
-	sort.Slice(out, func(i, j int) bool { return out[i].ModTime.After(out[j].ModTime) })
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].ModTime.Equal(out[j].ModTime) {
+			return out[i].ModTime.After(out[j].ModTime)
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 

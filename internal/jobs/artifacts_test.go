@@ -39,7 +39,7 @@ func TestResultCacheBytes(t *testing.T) {
 		t.Fatal("recent entries evicted")
 	}
 	// An entry larger than the whole budget is not retained.
-	c.put("huge", mkRes(1 << 20))
+	c.put("huge", mkRes(1<<20))
 	if c.get("huge") != nil {
 		t.Fatal("over-budget entry was retained")
 	}
@@ -219,6 +219,61 @@ func TestArtifactStoreEviction(t *testing.T) {
 	entries, bytes, _, _ := st.stats()
 	if entries != 1 || bytes != 500 {
 		t.Fatalf("entries=%d bytes=%d", entries, bytes)
+	}
+}
+
+// TestArtifactStoreListOrder pins the /artifacts listing contract: newest
+// first by the LRU mtime clock, name-ordered within equal timestamps, and
+// every entry carrying size and a non-zero last-access time.
+func TestArtifactStoreListOrder(t *testing.T) {
+	dir := t.TempDir()
+	st, err := newArtifactStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, size int) string {
+		staged := st.staging(name)
+		if err := os.WriteFile(staged, make([]byte, size), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p, err := st.commit(staged, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// c and b share one timestamp (name breaks the tie), a is strictly
+	// newer and must list first.
+	now := time.Now().Truncate(time.Second)
+	old := now.Add(-time.Minute)
+	pc := write("p-c.mpa", 3)
+	pb := write("p-b.mpa", 2)
+	pa := write("p-a.mpa", 1)
+	os.Chtimes(pc, old, old)
+	os.Chtimes(pb, old, old)
+	os.Chtimes(pa, now, now)
+
+	got := st.list()
+	if len(got) != 3 {
+		t.Fatalf("list() = %d entries", len(got))
+	}
+	wantNames := []string{"p-a.mpa", "p-b.mpa", "p-c.mpa"}
+	wantBytes := []int64{1, 2, 3}
+	for i := range got {
+		if got[i].Name != wantNames[i] || got[i].Bytes != wantBytes[i] {
+			t.Fatalf("list()[%d] = %+v, want %s/%d bytes", i, got[i], wantNames[i], wantBytes[i])
+		}
+		if got[i].LastAccess.IsZero() || got[i].ModTime.IsZero() {
+			t.Fatalf("list()[%d] missing timestamps: %+v", i, got[i])
+		}
+	}
+	// A second call returns the identical order — the listing is
+	// deterministic, not directory-order dependent.
+	again := st.list()
+	for i := range again {
+		if again[i].Name != got[i].Name {
+			t.Fatalf("list() unstable at %d: %s vs %s", i, again[i].Name, got[i].Name)
+		}
 	}
 }
 

@@ -1,0 +1,19 @@
+//go:build linux
+
+package jobs
+
+import (
+	"io/fs"
+	"syscall"
+	"time"
+)
+
+// atime extracts the file's access time — the artifact store's last-access
+// clock (os.Chtimes on every cache hit sets atime and mtime together, so
+// this tracks reads even on relatime mounts).
+func atime(fi fs.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

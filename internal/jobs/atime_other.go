@@ -1,0 +1,14 @@
+//go:build !linux
+
+package jobs
+
+import (
+	"io/fs"
+	"time"
+)
+
+// atime falls back to the modification time where the platform does not
+// expose access times through Stat.
+func atime(fi fs.FileInfo) time.Time {
+	return fi.ModTime()
+}

@@ -128,6 +128,13 @@ type Options struct {
 	// DriftCal is the default model calibration for jobs that do not set
 	// Config.DriftCal themselves ("" keeps core's default, edison).
 	DriftCal string
+	// OnArtifactCommit, when set, is invoked (off the manager lock, on the
+	// worker goroutine) every time the artifact store admits a newly
+	// committed artifact, with its store name and final path. The query
+	// tier uses it to hot-swap the served lookup when a newer artifact
+	// lands for the served key. The callback must not block for long — it
+	// runs before the job is finalized.
+	OnArtifactCommit func(name, path string)
 	// Logger receives structured job-lifecycle records, each stamped with
 	// the job correlation ID; it is also threaded into every run's
 	// Config.Log so pipeline records carry the same ID. Nil logs nothing.
@@ -234,9 +241,9 @@ type Manager struct {
 	// Options.ArtifactDir is empty). It has its own lock — never taken
 	// under mu.
 	artifacts *artifactStore
-	seq      int
-	draining bool
-	hits     uint64 // cache + coalesced-submit hits
+	seq       int
+	draining  bool
+	hits      uint64 // cache + coalesced-submit hits
 
 	// pool recycles the pipeline's two per-task tuple buffers across jobs:
 	// back-to-back daemon runs reuse multi-GB slices instead of
@@ -250,8 +257,8 @@ type Manager struct {
 	// the /metrics p50/p99 substrate. Histograms are internally atomic;
 	// stepHists' map shape is guarded by hmu.
 	queueHist, runHist, totalHist *obsv.Histogram
-	hmu       sync.Mutex
-	stepHists map[string]*obsv.Histogram
+	hmu                           sync.Mutex
+	stepHists                     map[string]*obsv.Histogram
 	// lastDrift is the most recent completed job's model reconciliation
 	// (guarded by mu); tracesDumped counts automatic flight-recorder dumps.
 	lastDrift    *model.DriftReport
@@ -488,6 +495,9 @@ func (m *Manager) runJob(j *Job) {
 	if err == nil && commitName != "" {
 		if p, cErr := m.artifacts.commit(cfg.ArtifactOut, commitName); cErr == nil {
 			committed = p
+			if cb := m.opts.OnArtifactCommit; cb != nil {
+				cb(commitName, p)
+			}
 		} else if lg := m.opts.Logger; lg != nil {
 			lg.WarnContext(ctx, "artifact commit failed", "err", cErr)
 		}
@@ -681,10 +691,10 @@ func (m *Manager) StatsSnapshot() Stats {
 		ArtifactBytes:   aBytes,
 		ArtifactHits:    aHits,
 		ArtifactMisses:  aMisses,
-		BufPoolHits:   m.pool.Hits(),
-		BufPoolMisses: m.pool.Misses(),
-		TracesDumped:  m.tracesDumped,
-		Draining:      m.draining,
+		BufPoolHits:     m.pool.Hits(),
+		BufPoolMisses:   m.pool.Misses(),
+		TracesDumped:    m.tracesDumped,
+		Draining:        m.draining,
 	}
 	for _, j := range m.jobs {
 		s.Jobs[j.state]++

@@ -1,0 +1,89 @@
+package lookup
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metaprep/internal/artifact"
+)
+
+// FuzzLookupCodec feeds mutated lookup files to Open: it must never panic
+// and must either reject the bytes with an error wrapping ErrBadLookup or
+// produce a Lookup whose query methods stay in bounds.
+func FuzzLookupCodec(f *testing.F) {
+	dir := f.TempDir()
+	apath := filepath.Join(dir, "seed.mpa")
+	w, err := artifact.Create(apath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.BeginKmers(false, false, 64); err != nil {
+		f.Fatal(err)
+	}
+	var labels []uint32
+	for i := 0; i < 400; i++ {
+		if err := w.Tuple(0, uint64(i)*977, uint32(i)); err != nil {
+			f.Fatal(err)
+		}
+		labels = append(labels, uint32(i%7))
+	}
+	if err := w.EndKmers(); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Labels(labels); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Hist(make([]uint64, 256)); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Finish(artifact.Meta{Kind: artifact.KindPartition, K: 21, M: 8, Reads: 400}); err != nil {
+		f.Fatal(err)
+	}
+	ar, err := artifact.Open(apath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	lpath := filepath.Join(dir, "seed.mplk")
+	if _, err := Build(ar, lpath, BuildOptions{Shards: 2}); err != nil {
+		f.Fatal(err)
+	}
+	ar.Close()
+	seed, err := os.ReadFile(lpath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/3])
+	f.Add([]byte("MPLK"))
+	trunc := append([]byte(nil), seed...)
+	trunc[pageSize+17] ^= 0xA5
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		p := filepath.Join(t.TempDir(), "in.mplk")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(p)
+		if err != nil {
+			if _, isPath := err.(*os.PathError); !isPath && !errors.Is(err, ErrBadLookup) {
+				t.Fatalf("error %v wraps neither ErrBadLookup nor os.PathError", err)
+			}
+			return
+		}
+		defer l.Close()
+		// Whatever opened must answer queries without going out of bounds.
+		for i := uint64(0); i < 600; i += 13 {
+			l.Get(0, i*977)
+		}
+		l.Get(^uint64(0), ^uint64(0))
+		if l.Shards() < 1 {
+			t.Fatalf("opened lookup reports %d shards", l.Shards())
+		}
+	})
+}

@@ -1,0 +1,21 @@
+//go:build !unix
+
+package lookup
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap reads the file into memory;
+// the query path is identical, only the residency guarantee differs.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if int64(len(b)) != size {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	return b, func() error { return nil }, nil
+}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package lookup
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. The returned cleanup unmaps; the caller may
+// close f immediately (the mapping holds its own reference to the file).
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, &os.PathError{Op: "mmap", Path: f.Name(), Err: err}
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

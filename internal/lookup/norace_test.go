@@ -1,0 +1,5 @@
+//go:build !race
+
+package lookup
+
+const raceEnabled = false

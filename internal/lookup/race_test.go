@@ -1,0 +1,8 @@
+//go:build race
+
+package lookup
+
+// raceEnabled gates allocation-count assertions: the race detector
+// instruments synchronization with heap allocations, so AllocsPerRun is
+// only meaningful in uninstrumented builds.
+const raceEnabled = true

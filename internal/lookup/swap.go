@@ -1,0 +1,87 @@
+package lookup
+
+import "sync/atomic"
+
+// Swapper publishes a Lookup to concurrent readers with refcounted
+// epoch-based hot swap: Swap atomically replaces the served Lookup, and the
+// replaced epoch's mapping is unmapped exactly when the last in-flight
+// query that acquired it drains — readers never see a torn or closed map,
+// and old-epoch memory is released promptly under live traffic.
+//
+// Protocol: every epoch starts with one owner reference held by the
+// Swapper. Acquire increments the refcount with a CAS loop that refuses to
+// resurrect a retired epoch (refs observed at 0 means the epoch was already
+// replaced AND fully drained — the current pointer has necessarily moved
+// on, so the reader reloads it). Swap installs the new epoch first, then
+// drops the owner reference of the old one; whoever takes the count to
+// zero — the swapper or the last draining reader — closes the Lookup.
+type Swapper struct {
+	cur atomic.Pointer[Epoch]
+	seq atomic.Uint64
+}
+
+// NewSwapper returns a Swapper serving nothing; Acquire reports ok=false
+// until the first Swap.
+func NewSwapper() *Swapper { return &Swapper{} }
+
+// Epoch is one published Lookup generation. Readers obtain one from
+// Acquire and must call Release exactly once when done.
+type Epoch struct {
+	lk   *Lookup
+	seq  uint64
+	refs atomic.Int64
+}
+
+// Lookup returns the epoch's Lookup, valid until Release.
+func (e *Epoch) Lookup() *Lookup { return e.lk }
+
+// Seq returns the monotonically increasing swap sequence number, useful
+// for reporting which generation answered a query.
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// Release drops one reference; the last one out closes the Lookup.
+func (e *Epoch) Release() {
+	if e.refs.Add(-1) == 0 && e.lk != nil {
+		e.lk.Close()
+	}
+}
+
+// Acquire pins the current epoch for reading. ok=false means nothing is
+// being served. It allocates nothing.
+func (s *Swapper) Acquire() (*Epoch, bool) {
+	for {
+		e := s.cur.Load()
+		if e == nil {
+			return nil, false
+		}
+		n := e.refs.Load()
+		for n > 0 {
+			if e.refs.CompareAndSwap(n, n+1) {
+				return e, true
+			}
+			n = e.refs.Load()
+		}
+		// refs hit zero between loading cur and the CAS: the epoch retired
+		// and drained already, so cur has moved — reload it.
+	}
+}
+
+// Swap publishes lk as the new current epoch and drops the owner reference
+// of the previous one (closing it once in-flight readers drain). It
+// returns the new epoch's sequence number.
+func (s *Swapper) Swap(lk *Lookup) uint64 {
+	ne := &Epoch{lk: lk, seq: s.seq.Add(1)}
+	ne.refs.Store(1)
+	if old := s.cur.Swap(ne); old != nil {
+		old.Release()
+	}
+	return ne.seq
+}
+
+// Stop unpublishes the current epoch (Acquire reports ok=false) and drops
+// its owner reference. Safe to call more than once.
+func (s *Swapper) Stop() {
+	if old := s.cur.Swap(nil); old != nil {
+		old.Release()
+	}
+}

@@ -36,7 +36,62 @@ func Calibrate(dir string) Calibration {
 	cal.ReadBW, cal.WriteBW = measureIO(dir)
 	cal.CommBW = measureCopyBW()
 	cal.CommWarmup = 0
+	cal.LookupProbesPerSec = measureLookupProbes()
 	return cal
+}
+
+// measureLookupProbes times the query tier's probe shape at the reference
+// 2^20 keys: a fence binary search over block first-keys followed by an
+// in-block search over a 256-key run, matching internal/lookup's two
+// resident levels.
+func measureLookupProbes() float64 {
+	const keys = 1 << 20
+	const blockKeys = 256
+	rng := rand.New(rand.NewSource(9))
+	sorted := make([]uint64, keys)
+	v := uint64(0)
+	for i := range sorted {
+		v += 1 + uint64(rng.Intn(1<<20))
+		sorted[i] = v
+	}
+	fence := make([]uint64, keys/blockKeys)
+	for i := range fence {
+		fence[i] = sorted[i*blockKeys]
+	}
+	probes := make([]uint64, 1<<16)
+	for i := range probes {
+		probes[i] = sorted[rng.Intn(keys)]
+	}
+	var sink uint64
+	start := time.Now()
+	reps := 20
+	for r := 0; r < reps; r++ {
+		for _, p := range probes {
+			i, j := 0, len(fence)
+			for i < j {
+				m := int(uint(i+j) >> 1)
+				if p < fence[m] {
+					j = m
+				} else {
+					i = m + 1
+				}
+			}
+			blk := (i - 1) * blockKeys
+			i, j = blk, blk+blockKeys
+			for i < j {
+				m := int(uint(i+j) >> 1)
+				if sorted[m] < p {
+					i = m + 1
+				} else {
+					j = m
+				}
+			}
+			sink += sorted[i]
+		}
+	}
+	el := time.Since(start).Seconds()
+	_ = sink
+	return float64(reps) * float64(len(probes)) / el
 }
 
 func synthSeq(n int) []byte {

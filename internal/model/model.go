@@ -296,6 +296,10 @@ type Calibration struct {
 	// first barriers). It does not shrink with P, which is why the paper's
 	// smallest dataset scales worst across nodes (HG: 3.23× on 16 nodes).
 	Startup time.Duration
+	// LookupProbesPerSec is single-thread query-tier probe throughput
+	// (shard + fence + in-block binary search) measured at the reference
+	// 2^20-key lookup; see PredictQuerySeconds for the depth scaling.
+	LookupProbesPerSec float64
 }
 
 // Edison returns constants fitted to the paper's own measurements (Table 3
@@ -327,6 +331,9 @@ func Edison() Calibration {
 		CommWarmup:       0.75e-9,
 		CoreCap:          15,
 		Startup:          2 * time.Second,
+		// A probe is ~28 dependent compares across three resident pages;
+		// an Edison core sustains about 8M of them per second.
+		LookupProbesPerSec: 8e6,
 	}
 }
 
@@ -343,6 +350,7 @@ func Ganga() Calibration {
 	c.SortTuplesPerSec /= 1.3
 	c.CCEdgesPerSec /= 1.3
 	c.AbsorbOpsPerSec /= 1.3
+	c.LookupProbesPerSec /= 1.3
 	c.ReadBW = 0.15e9
 	c.WriteBW = 0.06e9
 	c.IOScalesWithT = false
@@ -377,8 +385,14 @@ func Predict(cal Calibration, w Workload, c Cluster) Steps {
 
 // prefilterCost is the pass-1 bill: one extra read and parse of the whole
 // input (at pass-1 the chunk prefetch path runs without tuple emission —
-// inserts cost about one emit each), plus the exact cross-rank combine:
-// P−1 ladder payloads into rank 0 and ⌈log P⌉ broadcast hops back out.
+// inserts cost about one emit each), plus the sub-range cross-rank
+// combine: the ladder's word space is partitioned into P owned ranges, an
+// all-to-all ships each rank only its (P−1)/P share of every peer's
+// ladder, each owner merges its range, rank 0 gathers the merged keep
+// sub-ranges ((P−1)/P of one level), and ⌈log P⌉ broadcast hops return
+// the assembled bitmap. Per-rank combine volume is thus ~fb + kb + log P·kb
+// (kb = one level = fb/L) — flat in P, where the old rank-0 gather paid
+// (P−1)·fb inbound at the root.
 func prefilterCost(cal Calibration, w Workload, c Cluster) Steps {
 	if c.P < 1 {
 		c.P = 1
@@ -404,14 +418,29 @@ func prefilterCost(cal Calibration, w Workload, c Cluster) Steps {
 		float64(w.Tuples)/P/(T*cal.EmitTuplesPerSec))
 	if c.P > 1 {
 		fb := float64(c.prefilterBytes(w))
+		L := float64(c.prefilterLevels())
+		kb := fb / L // one level: the keep bitmap's share of the ladder
 		rounds := 0
 		for step := 1; step < c.P; step <<= 1 {
 			rounds++
 		}
-		s.KmerGenComm = sec((P-1+float64(rounds))*fb/cal.CommBW) +
-			time.Duration(c.P-1+rounds)*cal.Latency
+		s.KmerGenComm = sec((fb*(P-1)/P+kb*(P-1)/P+float64(rounds)*kb)/cal.CommBW) +
+			time.Duration(2*(c.P-1)+rounds)*cal.Latency
 	}
 	return s
+}
+
+// prefilterLevels is the modeled ladder depth L: PrefilterMinCount clamped
+// to the sketch package's [2, 8] range (core defaults unset MinCount to 2).
+func (c Cluster) prefilterLevels() int {
+	L := c.PrefilterMinCount
+	if L < 2 {
+		L = 2
+	}
+	if L > 8 {
+		L = 8
+	}
+	return L
 }
 
 // predictPipeline evaluates the exact-pipeline cost model.
@@ -614,8 +643,10 @@ func MemoryPerTask(w Workload, c Cluster) int64 {
 // pipeline — the g* above which paying the extra read pays off. Evaluated
 // at the cluster's PrefilterBits (or the 8-bit default sizing when unset).
 // Returns 0 when the prefilter wins at any droppable mass and 1 when it
-// never does (e.g. high task counts, where the combine's P−1 full-ladder
-// uploads into rank 0 outgrow the per-task exchange and sort savings).
+// never does. With the sub-range combine the per-rank wire volume is flat
+// in P (~fb + log P·kb rather than the old (P−1)·fb at rank 0), so the
+// crossover no longer collapses to "never" at high task counts — the
+// prefilter now keeps paying well beyond P=4.
 func PrefilterCrossover(cal Calibration, w Workload, c Cluster) float64 {
 	if c.PrefilterBits <= 0 {
 		c.PrefilterBits = 8

@@ -11,11 +11,10 @@ func TestPrefilterModel(t *testing.T) {
 	w := PaperWorkload("MM")
 	w.SingletonKmerFrac = 0.7 // error-rich short reads: most distinct k-mers singletons
 	cal := Edison()
-	// Two tasks: the P−1 serialized ladder uploads of the combine stay
-	// cheap, so the saved exchange and sort dominate. (At high P the
-	// combine term — every rank's full ladder into rank 0 — swamps the
-	// per-task savings; that is a real property of the default sizing, and
-	// PrefilterCrossover reports it as g* = 1.)
+	// Two tasks: the sub-range combine ships each rank ~one ladder's worth
+	// of sub-slices, so the saved exchange and sort dominate. (At very
+	// high P the flat ~fb wire term still outweighs the per-task savings,
+	// which shrink as 1/P; PrefilterCrossover reports that as g* = 1.)
 	off := Cluster{P: 2, T: 24, S: 2}
 	on := off
 	on.PrefilterBits = 8
@@ -64,11 +63,22 @@ func TestPrefilterCrossover(t *testing.T) {
 		t.Errorf("above crossover (g=%v) the prefilter loses", hi.SingletonKmerFrac)
 	}
 
-	// At high task counts the combine — every rank's full ladder into rank
-	// 0 — grows with P while the per-task savings shrink with it, so the
-	// prefilter never pays at default sizing.
+	// The sub-range combine keeps per-rank wire volume flat in P, so the
+	// crossover stays interior well past P=4 — under the old rank-0
+	// full-ladder gather, P=8 was already degenerate (g* = 1).
+	if g8 := PrefilterCrossover(cal, w, Cluster{P: 8, T: 24, S: 2}); g8 <= 0 || g8 >= 1 {
+		t.Errorf("P=8 crossover = %v, want interior point (sub-range combine stays affordable)", g8)
+	}
+	// Crossover worsens monotonically with P: the combine is flat while
+	// the per-task exchange and sort savings shrink as 1/P.
+	if g4, g8 := PrefilterCrossover(cal, w, Cluster{P: 4, T: 24, S: 2}),
+		PrefilterCrossover(cal, w, Cluster{P: 8, T: 24, S: 2}); g4 > g8 {
+		t.Errorf("crossover not monotone in P: g4=%v > g8=%v", g4, g8)
+	}
+	// At 16 tasks the 1/P savings finally lose to the flat fb term even at
+	// all-singleton mass — the prefilter never pays at default sizing.
 	if g16 := PrefilterCrossover(cal, w, Cluster{P: 16, T: 24, S: 2}); g16 != 1 {
-		t.Errorf("P=16 crossover = %v, want 1 (combine swamps the savings)", g16)
+		t.Errorf("P=16 crossover = %v, want 1 (flat wire term outlasts 1/P savings)", g16)
 	}
 }
 

@@ -1,0 +1,64 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPredictQuerySecondsShape(t *testing.T) {
+	cal := Edison()
+	// Bigger batches cost more; more keys cost more (deeper searches);
+	// everything is positive and finite.
+	small := PredictQuerySeconds(cal, 1<<20, 64)
+	big := PredictQuerySeconds(cal, 1<<20, 4096)
+	if small <= 0 || big <= small {
+		t.Fatalf("batch scaling broken: batch64=%v batch4096=%v", small, big)
+	}
+	deep := PredictQuerySeconds(cal, 1<<34, 4096)
+	if deep <= big {
+		t.Fatalf("depth scaling broken: 2^20 keys %v, 2^34 keys %v", big, deep)
+	}
+	// At the reference key count the per-probe cost is exactly the
+	// calibrated rate (plus the two latency constants).
+	want := time.Duration((1000/cal.LookupProbesPerSec + 2*cal.Latency.Seconds()) * float64(time.Second))
+	got := PredictQuerySeconds(cal, 1<<20, 1000)
+	if d := got - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("reference probe cost: got %v, want %v", got, want)
+	}
+	if PredictQuerySeconds(cal, 1<<20, 0) != 0 {
+		t.Fatal("zero batch should cost zero")
+	}
+}
+
+func TestPredictServeQPSShape(t *testing.T) {
+	cal := Edison()
+	q1 := PredictServeQPS(cal, 1, 1<<20, 256)
+	q4 := PredictServeQPS(cal, 4, 1<<20, 256)
+	if q1 <= 0 || q4 <= q1 {
+		t.Fatalf("concurrency scaling broken: c1=%f c4=%f", q1, q4)
+	}
+	// Beyond CoreCap extra concurrency adds nothing: queueing, not service.
+	atCap := PredictServeQPS(cal, cal.CoreCap, 1<<20, 256)
+	over := PredictServeQPS(cal, 4*cal.CoreCap, 1<<20, 256)
+	if over != atCap {
+		t.Fatalf("CoreCap ceiling broken: atCap=%f over=%f", atCap, over)
+	}
+	// Larger batches lower request QPS but raise probe throughput.
+	qBig := PredictServeQPS(cal, 4, 1<<20, 4096)
+	if qBig >= q4 {
+		t.Fatalf("batch should lower request QPS: 256→%f 4096→%f", q4, qBig)
+	}
+	if 4096*qBig <= 256*q4*0.99 {
+		t.Fatalf("bigger batches should not lose probe throughput: %f vs %f probes/s", 4096*qBig, 256*q4)
+	}
+}
+
+func TestMeasureLookupProbes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("microbenchmark")
+	}
+	r := measureLookupProbes()
+	if r <= 0 {
+		t.Fatalf("measureLookupProbes = %f", r)
+	}
+}

@@ -60,6 +60,9 @@ func TestArtifactEndToEnd(t *testing.T) {
 	if len(ents) != 1 || !strings.HasPrefix(ents[0].Name, "p-") || ents[0].Bytes != int64(len(blob)) {
 		t.Fatalf("/artifacts listing: %+v", ents)
 	}
+	if ents[0].ModTime.IsZero() || ents[0].LastAccess.IsZero() {
+		t.Fatalf("/artifacts entry missing timestamps: %+v", ents[0])
+	}
 
 	// Same key at a different shape: served by artifact reload, and the
 	// result agrees with the computed one.

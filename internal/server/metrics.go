@@ -110,6 +110,33 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "metaprepd_model_drift_ratio{step=\"spill\"} %s\n", fmtFloat(d.SpillRatio))
 	}
 
+	// Query tier: lookup state gauges, traffic counters and the request
+	// latency histogram (admission to response encode).
+	if t := s.opts.Query; t != nil {
+		var keys, epoch uint64
+		if ep, ok := t.swap.Acquire(); ok {
+			keys = ep.Lookup().Keys()
+			epoch = ep.Seq()
+			ep.Release()
+		}
+		family(w, "metaprepd_query_lookup_keys", "Distinct k-mers in the served lookup (0 = nothing served).", "gauge")
+		fmt.Fprintf(w, "metaprepd_query_lookup_keys %d\n", keys)
+		family(w, "metaprepd_query_epoch", "Hot-swap generation of the served lookup (0 = nothing served).", "gauge")
+		fmt.Fprintf(w, "metaprepd_query_epoch %d\n", epoch)
+		family(w, "metaprepd_queries_total", "Query batches answered.", "counter")
+		fmt.Fprintf(w, "metaprepd_queries_total %d\n", t.queries.Load())
+		family(w, "metaprepd_query_kmers_total", "K-mers probed across all query batches.", "counter")
+		fmt.Fprintf(w, "metaprepd_query_kmers_total %d\n", t.kmers.Load())
+		family(w, "metaprepd_query_misses_total", "Probed k-mers absent from the served lookup.", "counter")
+		fmt.Fprintf(w, "metaprepd_query_misses_total %d\n", t.misses.Load())
+		family(w, "metaprepd_query_rejected_total", "Query batches rejected by admission control (429).", "counter")
+		fmt.Fprintf(w, "metaprepd_query_rejected_total %d\n", t.rejected.Load())
+		family(w, "metaprepd_query_swaps_total", "Lookup publications (initial serve + hot swaps).", "counter")
+		fmt.Fprintf(w, "metaprepd_query_swaps_total %d\n", t.swaps.Load())
+		writeHistFamily(w, "metaprepd_query_seconds",
+			"Query request latency (admission to response encode).", []labeledHist{{"", t.hist.Snapshot()}}, les)
+	}
+
 	// Per-job pipeline counters: the obsv snapshot, one sample per
 	// (job, counter, rank). Counter names become label values, not metric
 	// names, so arbitrary "/"-separated obsv names need no escaping.

@@ -11,6 +11,9 @@
 //	GET    /jobs/{id}/result  completed job's pipeline result
 //	GET    /jobs/{id}/artifact  done job's stored partition artifact (.mpa)
 //	GET    /artifacts         list the daemon's artifact store
+//	POST   /query             batch k-mer / sequence label lookups against
+//	                          the served partition (when a query tier is
+//	                          configured; see QueryTier)
 //	GET    /jobs/{id}/trace   flight-recorder dump (Perfetto trace JSON)
 //	POST   /jobs/{id}/cancel  request cancellation
 //	GET    /jobs/{id}/events  Server-Sent Events progress stream
@@ -68,6 +71,10 @@ type Options struct {
 	// stamped with the job correlation ID where one exists. Nil logs
 	// nothing.
 	Logger *slog.Logger
+	// Query, when non-nil, enables POST /query backed by this tier and
+	// adds the metaprepd_query_* families to /metrics. The caller owns the
+	// tier's lifecycle (NewQueryTier / Close).
+	Query *QueryTier
 }
 
 // Server is the HTTP front end over a jobs.Manager.
@@ -108,6 +115,9 @@ func New(mgr *jobs.Manager, opts Options) *Server {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/artifact", s.handleArtifact)
 	mux.HandleFunc("GET /artifacts", s.handleArtifacts)
+	if opts.Query != nil {
+		mux.HandleFunc("POST /query", s.handleQuery)
+	}
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
@@ -138,14 +148,14 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 // default to a single-task, single-pass run with CCOpt on, like
 // core.Default).
 type SubmitRequest struct {
-	Index           string `json:"index"`
-	Tasks           int    `json:"tasks"`
-	Threads         int    `json:"threads"`
-	Passes          int    `json:"passes"`
-	KFMin           uint32 `json:"kf_min"`
-	KFMax           uint32 `json:"kf_max"`
-	CCOpt           *bool  `json:"ccopt"`
-	SparseMerge     bool   `json:"sparse_merge"`
+	Index       string `json:"index"`
+	Tasks       int    `json:"tasks"`
+	Threads     int    `json:"threads"`
+	Passes      int    `json:"passes"`
+	KFMin       uint32 `json:"kf_min"`
+	KFMax       uint32 `json:"kf_max"`
+	CCOpt       *bool  `json:"ccopt"`
+	SparseMerge bool   `json:"sparse_merge"`
 	// SparseDeltaMerge and OverlapOutput default to on (core.Default);
 	// pointers distinguish "unset" from an explicit false, so clients can
 	// select the one-shot/reader-based reference paths.

@@ -214,13 +214,26 @@ func (f *RepeatFilter) Normalize() {
 // associative and commutative, so any fold order over ranks agrees. Both
 // ladders must be Normalized and identically sized; src is not modified.
 func (f *RepeatFilter) Merge(src [][]uint64) {
+	f.MergeRange(src, 0, f.nwords)
+}
+
+// MergeRange is Merge restricted to the word range [lo, hi): src holds the
+// peer ladder's slice of exactly that range (src[i] has length hi-lo,
+// src[i][0] corresponding to absolute word lo), and only this filter's
+// words in [lo, hi) are updated. Because the convolution is independent
+// per word, partitioning the word space across ranks and letting each
+// owner MergeRange its slice of every peer's ladder yields bit-for-bit
+// the same result as full-ladder Merge at one rank — while shipping 1/P
+// of each ladder instead of all of it. src is not modified.
+func (f *RepeatFilter) MergeRange(src [][]uint64, lo, hi uint64) {
 	L := f.minCount
 	var out [maxLadderLevels]uint64
-	for w := uint64(0); w < f.nwords; w++ {
+	for w := lo; w < hi; w++ {
+		s := w - lo
 		for i := 1; i <= L; i++ {
-			r := f.levels[i-1][w] | src[i-1][w]
+			r := f.levels[i-1][w] | src[i-1][s]
 			for p := 1; p < i; p++ {
-				r |= f.levels[p-1][w] & src[i-p-1][w]
+				r |= f.levels[p-1][w] & src[i-p-1][s]
 			}
 			out[i-1] = r
 		}
@@ -233,6 +246,10 @@ func (f *RepeatFilter) Merge(src [][]uint64) {
 // Levels exposes the raw level bitmaps for transport (read-only by
 // convention).
 func (f *RepeatFilter) Levels() [][]uint64 { return f.levels }
+
+// NWords reports the per-level bitmap length in 64-bit words. Sub-range
+// combines partition [0, NWords()) across ranks.
+func (f *RepeatFilter) NWords() uint64 { return f.nwords }
 
 // Keep returns the top level — the "seen ≥ MinCount times" set — as a
 // queryable Bloom, aliasing the ladder's words. Valid after Normalize (and

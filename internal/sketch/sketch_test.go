@@ -193,6 +193,76 @@ func TestRepeatFilterMerge(t *testing.T) {
 	}
 }
 
+// TestMergeRangeParity pins the sub-range combine's correctness claim: P
+// ranks each owning a contiguous word range and MergeRanging only their
+// slice of every peer's ladder yields, once the owned ranges are stitched
+// together, the bit-identical ladder of a single-rank full Merge fold.
+// This is the invariant the prefilter's all-to-all combine relies on.
+func TestMergeRangeParity(t *testing.T) {
+	for _, tc := range []struct {
+		ranks, minCount int
+	}{{2, 2}, {3, 4}, {5, 3}, {7, 2}} {
+		const n = 2000
+		build := func() []*RepeatFilter {
+			fs := make([]*RepeatFilter, tc.ranks)
+			rng := rand.New(rand.NewSource(int64(100*tc.ranks + tc.minCount)))
+			for r := range fs {
+				fs[r] = NewRepeatFilter(n, 16, tc.minCount)
+			}
+			for i := 0; i < n; i++ {
+				hi, lo := rng.Uint64(), rng.Uint64()
+				h1, h2 := Hash(hi, lo)
+				for r := range fs {
+					for c := rng.Intn(tc.minCount + 1); c > 0; c-- {
+						fs[r].Insert(h1, h2)
+					}
+				}
+			}
+			for r := range fs {
+				fs[r].Normalize()
+			}
+			return fs
+		}
+
+		// Reference: full-ladder fold at "rank 0".
+		ref := build()
+		for r := 1; r < tc.ranks; r++ {
+			ref[0].Merge(ref[r].Levels())
+		}
+
+		// Sub-range combine: each rank owns a contiguous word range and
+		// folds only its slice of every peer's ladder.
+		fs := build()
+		nw := fs[0].NWords()
+		cut := func(r int) uint64 { return nw * uint64(r) / uint64(tc.ranks) }
+		for own := range fs {
+			lo, hi := cut(own), cut(own+1)
+			for peer := range fs {
+				if peer == own {
+					continue
+				}
+				sub := make([][]uint64, tc.minCount)
+				for i, lv := range fs[peer].Levels() {
+					sub[i] = append([]uint64(nil), lv[lo:hi]...)
+				}
+				fs[own].MergeRange(sub, lo, hi)
+			}
+		}
+		// Stitch the owned ranges and compare every level word for word.
+		for i := 0; i < tc.minCount; i++ {
+			for own := range fs {
+				lo, hi := cut(own), cut(own+1)
+				for w := lo; w < hi; w++ {
+					if got, want := fs[own].Levels()[i][w], ref[0].Levels()[i][w]; got != want {
+						t.Fatalf("ranks=%d minCount=%d level %d word %d: sub-range %#x != full merge %#x",
+							tc.ranks, tc.minCount, i, w, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestCountMinConservative pins the count–min invariants: estimates never
 // undercount, and with a roomy sketch they are exact.
 func TestCountMinConservative(t *testing.T) {

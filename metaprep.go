@@ -368,6 +368,18 @@ func PrefilterCrossover(cal Calibration, w Workload, c ClusterSpec) float64 {
 	return model.PrefilterCrossover(cal, w, c)
 }
 
+// PredictQuerySeconds estimates the service time of one query-tier batch
+// of n k-mer probes against a lookup holding keys distinct k-mers.
+func PredictQuerySeconds(cal Calibration, keys uint64, batch int) time.Duration {
+	return model.PredictQuerySeconds(cal, keys, batch)
+}
+
+// PredictServeQPS estimates the sustained closed-loop request rate of the
+// metaprepd query tier at the given concurrency, key count and batch size.
+func PredictServeQPS(cal Calibration, conc int, keys uint64, batch int) float64 {
+	return model.PredictServeQPS(cal, conc, keys, batch)
+}
+
 // EdisonCalibration returns constants fitted to the paper's measurements.
 func EdisonCalibration() Calibration { return model.Edison() }
 
